@@ -1,0 +1,117 @@
+//! Breadth-first search levels (extension application).
+//!
+//! Equivalent to unit-weight SSSP in its result, but written in the
+//! "first touch wins" style: a vertex acts only on its first activation,
+//! making the number of vertex executions exactly |reachable| + dupes.
+//! Halts every superstep (bypass-compatible), broadcast-only
+//! (pull-compatible) — a fourth data point for the version sweep.
+
+use ipregel::{Context, VertexProgram};
+use ipregel_graph::VertexId;
+
+/// Unvisited marker.
+pub const UNVISITED: u32 = u32::MAX;
+
+/// BFS level computation from `source`.
+#[derive(Debug, Clone)]
+pub struct Bfs {
+    /// External identifier of the root.
+    pub source: VertexId,
+}
+
+impl Bfs {
+    /// Vertices halt every superstep: bypass-compatible.
+    pub const BYPASS_COMPATIBLE: bool = true;
+    /// Broadcast-only communication: pull-combiner compatible.
+    pub const BROADCAST_ONLY: bool = true;
+}
+
+impl VertexProgram for Bfs {
+    type Value = u32;
+    type Message = u32;
+
+    fn initial_value(&self, _id: VertexId) -> u32 {
+        UNVISITED
+    }
+
+    fn compute<C: Context<Message = u32>>(&self, value: &mut u32, ctx: &mut C) {
+        if *value == UNVISITED {
+            let level = if ctx.id() == self.source && ctx.is_first_superstep() {
+                Some(0)
+            } else {
+                ctx.next_message()
+            };
+            if let Some(l) = level {
+                *value = l;
+                ctx.broadcast(l + 1);
+            }
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combine(old: &mut u32, new: u32) {
+        if new < *old {
+            *old = new;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipregel::{run, CombinerKind, RunConfig, Version};
+    use ipregel_graph::{GraphBuilder, NeighborMode};
+
+    #[test]
+    fn levels_on_a_binary_tree() {
+        let mut b = GraphBuilder::new(NeighborMode::Both);
+        for i in 0..7u32 {
+            for c in [2 * i + 1, 2 * i + 2] {
+                if c < 7 {
+                    b.add_edge(i, c);
+                }
+            }
+        }
+        let g = b.build().unwrap();
+        for v in Version::paper_versions() {
+            let out = run(&g, &Bfs { source: 0 }, v, &RunConfig::default());
+            assert_eq!(*out.value_of(0), 0, "{}", v.label());
+            assert_eq!(*out.value_of(1), 1);
+            assert_eq!(*out.value_of(2), 1);
+            assert_eq!(*out.value_of(6), 2);
+        }
+    }
+
+    #[test]
+    fn unreachable_stays_unvisited() {
+        let mut b = GraphBuilder::new(NeighborMode::Both);
+        b.add_edge(0, 1);
+        b.add_edge(2, 0); // 2 can reach 0 but not vice versa
+        let g = b.build().unwrap();
+        let out = run(
+            &g,
+            &Bfs { source: 0 },
+            Version { combiner: CombinerKind::Spinlock, selection_bypass: true },
+            &RunConfig::default(),
+        );
+        assert_eq!(*out.value_of(2), UNVISITED);
+    }
+
+    #[test]
+    fn bfs_superstep_count_tracks_eccentricity() {
+        let mut b = GraphBuilder::new(NeighborMode::Both);
+        for i in 0..10u32 {
+            b.add_edge(i, i + 1);
+        }
+        let g = b.build().unwrap();
+        let out = run(
+            &g,
+            &Bfs { source: 0 },
+            Version { combiner: CombinerKind::Mutex, selection_bypass: true },
+            &RunConfig::default(),
+        );
+        assert_eq!(*out.value_of(10), 10);
+        // 11 frontier supersteps (levels 0..=10) + the empty-worklist stop.
+        assert!(out.stats.num_supersteps() >= 11);
+    }
+}

@@ -1,0 +1,181 @@
+//! Two-colouring / bipartiteness check (extension).
+//!
+//! Colours spread outward from a seed: a vertex adopts the opposite
+//! parity of its first-colouring message and re-broadcasts. Messages are
+//! parity *sets* (bit 0 = "a neighbour has colour 0", bit 1 = colour 1),
+//! OR-combined — so a vertex that hears both parities at once, or a
+//! parity equal to its own, has witnessed an odd cycle. On a symmetric
+//! connected graph the run decides bipartiteness of the component.
+//!
+//! Halts every superstep (bypass-compatible), broadcast-only
+//! (pull-compatible), OR combiner (a third algebra after min/sum).
+
+use ipregel::{Context, VertexProgram};
+use ipregel_graph::{Graph, VertexId};
+
+/// Per-vertex colouring state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ColorState {
+    /// Assigned colour (0 or 1); `None` until reached.
+    pub color: Option<u8>,
+    /// Whether this vertex witnessed an odd-cycle conflict.
+    pub conflict: bool,
+}
+
+/// Bipartiteness check from a seed vertex.
+#[derive(Debug, Clone)]
+pub struct Bipartiteness {
+    /// Seed vertex (colour 0).
+    pub seed: VertexId,
+}
+
+impl Bipartiteness {
+    /// Vertices halt every superstep: bypass-compatible.
+    pub const BYPASS_COMPATIBLE: bool = true;
+    /// Broadcast-only communication: pull-combiner compatible.
+    pub const BROADCAST_ONLY: bool = true;
+}
+
+/// Message: bitset of neighbour colours seen (bit c = colour c present).
+impl VertexProgram for Bipartiteness {
+    type Value = ColorState;
+    type Message = u32;
+
+    fn initial_value(&self, _id: VertexId) -> ColorState {
+        ColorState::default()
+    }
+
+    fn compute<C: Context<Message = u32>>(&self, value: &mut ColorState, ctx: &mut C) {
+        let mut seen = 0u32;
+        while let Some(m) = ctx.next_message() {
+            seen |= m;
+        }
+        if ctx.is_first_superstep() && ctx.id() == self.seed {
+            value.color = Some(0);
+            ctx.broadcast(0b01);
+        } else if value.color.is_none() && seen != 0 {
+            // Adopt the opposite of a neighbouring colour; if both
+            // parities arrived simultaneously, an odd cycle exists.
+            if seen == 0b11 {
+                value.conflict = true;
+            }
+            let color = if seen & 0b01 != 0 { 1u8 } else { 0u8 };
+            value.color = Some(color);
+            ctx.broadcast(1 << color);
+        } else if let Some(c) = value.color {
+            // Already coloured: any same-parity message is a conflict.
+            if seen & (1 << c) != 0 {
+                value.conflict = true;
+            }
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combine(old: &mut u32, new: u32) {
+        *old |= new;
+    }
+}
+
+/// Oracle: BFS two-colouring; returns `(colors, is_bipartite)` for the
+/// seed's weakly-symmetric component (expects a symmetric graph).
+pub fn bipartite_oracle(g: &Graph, seed: VertexId) -> (Vec<Option<u8>>, bool) {
+    let mut color = vec![None; g.num_slots()];
+    let s = g.index_of(seed);
+    color[s as usize] = Some(0u8);
+    let mut queue = std::collections::VecDeque::from([s]);
+    let mut ok = true;
+    while let Some(v) = queue.pop_front() {
+        let c = color[v as usize].expect("queued implies coloured");
+        for &u in g.out_neighbors(v) {
+            match color[u as usize] {
+                None => {
+                    color[u as usize] = Some(1 - c);
+                    queue.push_back(u);
+                }
+                Some(cu) if cu == c => ok = false,
+                Some(_) => {}
+            }
+        }
+    }
+    (color, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipregel::{run, CombinerKind, RunConfig, Version};
+    use ipregel_graph::{GraphBuilder, NeighborMode};
+
+    fn sym(edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new(NeighborMode::Both);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+            b.add_edge(v, u);
+        }
+        b.build().unwrap()
+    }
+
+    fn any_conflict(out: &ipregel::RunOutput<ColorState>) -> bool {
+        out.iter().any(|(_, s)| s.conflict)
+    }
+
+    #[test]
+    fn even_cycle_is_bipartite_on_all_versions() {
+        let g = sym(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        for v in Version::paper_versions() {
+            let out = run(&g, &Bipartiteness { seed: 0 }, v, &RunConfig::default());
+            assert!(!any_conflict(&out), "{}", v.label());
+            assert_eq!(out.value_of(0).color, Some(0));
+            assert_eq!(out.value_of(1).color, Some(1));
+            assert_eq!(out.value_of(2).color, Some(0));
+            assert_eq!(out.value_of(3).color, Some(1));
+        }
+    }
+
+    #[test]
+    fn odd_cycle_raises_a_conflict() {
+        let g = sym(&[(0, 1), (1, 2), (2, 0)]);
+        for v in Version::paper_versions() {
+            let out = run(&g, &Bipartiteness { seed: 0 }, v, &RunConfig::default());
+            assert!(any_conflict(&out), "{}", v.label());
+        }
+    }
+
+    #[test]
+    fn colors_match_bfs_parity_on_a_tree() {
+        let g = sym(&[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)]);
+        let (expected, ok) = bipartite_oracle(&g, 0);
+        assert!(ok);
+        let out = run(
+            &g,
+            &Bipartiteness { seed: 0 },
+            Version { combiner: CombinerKind::Spinlock, selection_bypass: true },
+            &RunConfig::default(),
+        );
+        for slot in g.address_map().live_slots() {
+            assert_eq!(out.values[slot as usize].color, expected[slot as usize], "slot {slot}");
+            assert!(!out.values[slot as usize].conflict);
+        }
+    }
+
+    #[test]
+    fn unreached_vertices_stay_uncoloured() {
+        let g = sym(&[(0, 1), (2, 3)]);
+        let out = run(
+            &g,
+            &Bipartiteness { seed: 0 },
+            Version { combiner: CombinerKind::Mutex, selection_bypass: true },
+            &RunConfig::default(),
+        );
+        assert_eq!(out.value_of(2).color, None);
+        assert_eq!(out.value_of(3).color, None);
+    }
+
+    #[test]
+    fn oracle_flags_odd_cycles() {
+        let (_, ok) = bipartite_oracle(&sym(&[(0, 1), (1, 2), (2, 0)]), 0);
+        assert!(!ok);
+        let (_, ok) = bipartite_oracle(&sym(&[(0, 1), (1, 2), (2, 3), (3, 0)]), 0);
+        assert!(ok);
+    }
+}

@@ -1,0 +1,166 @@
+//! Tolerance-converged PageRank (extension).
+//!
+//! The paper's PageRank (Figure 6) runs a fixed `ROUND` iterations. The
+//! natural refinement — stop when no rank moves more than a tolerance —
+//! needs a master-side global view, which the paper's conclusion files
+//! under future work. Our `master_compute` hook provides it: each vertex
+//! stores `(rank, previous rank)` and the master halts the run once the
+//! largest absolute delta falls below the tolerance.
+
+use ipregel::{aggregate, Context, MasterDecision, VertexProgram};
+use ipregel_graph::VertexId;
+
+/// Rank plus the previous superstep's rank, for delta tracking.
+pub type RankPair = (f64, f64);
+
+/// PageRank that stops at convergence instead of a fixed round count.
+#[derive(Debug, Clone)]
+pub struct ConvergingPageRank {
+    /// Damping factor (0.85 in the paper).
+    pub damping: f64,
+    /// Stop once `max |rank - prev| < tolerance`.
+    pub tolerance: f64,
+    /// Hard cap, in case the tolerance is never met.
+    pub max_rounds: usize,
+}
+
+impl ConvergingPageRank {
+    /// Never halts vertex-side until the master stops it: bypass unsound.
+    pub const BYPASS_COMPATIBLE: bool = false;
+    /// Broadcast-only communication: pull-combiner compatible.
+    pub const BROADCAST_ONLY: bool = true;
+}
+
+impl VertexProgram for ConvergingPageRank {
+    type Value = RankPair;
+    type Message = f64;
+
+    fn initial_value(&self, _id: VertexId) -> RankPair {
+        (0.0, 0.0)
+    }
+
+    fn compute<C: Context<Message = f64>>(&self, value: &mut RankPair, ctx: &mut C) {
+        let n = ctx.num_vertices() as f64;
+        let new_rank = if ctx.is_first_superstep() {
+            1.0 / n
+        } else {
+            let mut sum = 0.0;
+            while let Some(m) = ctx.next_message() {
+                sum += m;
+            }
+            (1.0 - self.damping) / n + self.damping * sum
+        };
+        *value = (new_rank, value.0);
+        let deg = ctx.out_degree();
+        if deg > 0 {
+            ctx.broadcast(new_rank / f64::from(deg));
+        }
+    }
+
+    fn combine(old: &mut f64, new: f64) {
+        *old += new;
+    }
+
+    fn master_compute(&self, superstep: usize, values: &[RankPair]) -> MasterDecision {
+        if superstep + 1 >= self.max_rounds {
+            return MasterDecision::Halt;
+        }
+        if superstep == 0 {
+            return MasterDecision::Continue; // no previous rank yet
+        }
+        let max_delta = aggregate::aggregate(
+            values,
+            |&(rank, prev)| (rank - prev).abs(),
+            f64::max,
+        )
+        .unwrap_or(0.0);
+        if max_delta < self.tolerance {
+            MasterDecision::Halt
+        } else {
+            MasterDecision::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use ipregel::{run, CombinerKind, RunConfig, Version};
+    use ipregel_graph::{GraphBuilder, NeighborMode};
+
+    fn graph() -> ipregel_graph::Graph {
+        let mut b = GraphBuilder::new(NeighborMode::Both);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 2), (1, 3)] {
+            b.add_edge(u, v);
+        }
+        b.build().unwrap()
+    }
+
+    fn pr(tolerance: f64, max_rounds: usize) -> ConvergingPageRank {
+        ConvergingPageRank { damping: 0.85, tolerance, max_rounds }
+    }
+
+    #[test]
+    fn converges_before_the_cap() {
+        let g = graph();
+        let out = run(
+            &g,
+            &pr(1e-10, 500),
+            Version { combiner: CombinerKind::Broadcast, selection_bypass: false },
+            &RunConfig::default(),
+        );
+        assert!(out.stats.num_supersteps() < 500, "should converge early");
+        // Converged ranks ≈ long fixed-iteration ranks.
+        let expected = reference::pagerank_power(&g, 200, 0.85);
+        for slot in g.address_map().live_slots() {
+            let got = out.values[slot as usize].0;
+            assert!((got - expected[slot as usize]).abs() < 1e-8, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn loose_tolerance_stops_sooner_than_tight() {
+        let g = graph();
+        let v = Version { combiner: CombinerKind::Spinlock, selection_bypass: false };
+        let loose = run(&g, &pr(1e-3, 500), v, &RunConfig::default());
+        let tight = run(&g, &pr(1e-12, 500), v, &RunConfig::default());
+        assert!(loose.stats.num_supersteps() < tight.stats.num_supersteps());
+    }
+
+    #[test]
+    fn cap_is_respected_when_tolerance_is_unreachable() {
+        let g = graph();
+        let out = run(
+            &g,
+            &pr(0.0, 12),
+            Version { combiner: CombinerKind::Mutex, selection_bypass: false },
+            &RunConfig::default(),
+        );
+        assert_eq!(out.stats.num_supersteps(), 12);
+    }
+
+    #[test]
+    fn all_three_combiners_agree() {
+        let g = graph();
+        let reference = run(
+            &g,
+            &pr(1e-9, 300),
+            Version { combiner: CombinerKind::Mutex, selection_bypass: false },
+            &RunConfig::default(),
+        );
+        for combiner in [CombinerKind::Spinlock, CombinerKind::Broadcast] {
+            let out = run(
+                &g,
+                &pr(1e-9, 300),
+                Version { combiner, selection_bypass: false },
+                &RunConfig::default(),
+            );
+            assert_eq!(out.stats.num_supersteps(), reference.stats.num_supersteps());
+            for slot in g.address_map().live_slots() {
+                let (a, b) = (out.values[slot as usize].0, reference.values[slot as usize].0);
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+}

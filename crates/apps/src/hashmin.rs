@@ -1,0 +1,139 @@
+//! Hashmin: connected components by minimum-label propagation.
+//!
+//! Each vertex adopts the smallest vertex identifier it has heard of and
+//! re-broadcasts on improvement; at fixpoint every vertex of a
+//! (strongly-communicating) component holds the component's minimum id.
+//! On a symmetric graph this is exactly connected components.
+//!
+//! Active-vertex profile (Section 7.1.4): starts with *all* vertices
+//! active, then decreases to none — between PageRank's "always all" and
+//! SSSP's "always few". Vertices vote to halt every superstep, so
+//! Hashmin is selection-bypass compatible; it is also broadcast-only,
+//! so pull-combiner compatible.
+
+use ipregel::{Context, VertexProgram};
+use ipregel_graph::VertexId;
+
+/// Min-label connected components.
+#[derive(Debug, Clone, Default)]
+pub struct Hashmin;
+
+impl Hashmin {
+    /// Vertices halt every superstep: bypass-compatible.
+    pub const BYPASS_COMPATIBLE: bool = true;
+    /// Broadcast-only communication: pull-combiner compatible.
+    pub const BROADCAST_ONLY: bool = true;
+}
+
+impl VertexProgram for Hashmin {
+    type Value = u32;
+    type Message = u32;
+
+    fn initial_value(&self, _id: VertexId) -> u32 {
+        u32::MAX
+    }
+
+    fn compute<C: Context<Message = u32>>(&self, value: &mut u32, ctx: &mut C) {
+        // Like Figure 5's SSSP with "source distance" replaced by the
+        // vertex's own identifier.
+        let mut reference = ctx.id();
+        while let Some(m) = ctx.next_message() {
+            reference = reference.min(m);
+        }
+        if reference < *value {
+            *value = reference;
+            ctx.broadcast(*value);
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combine(old: &mut u32, new: u32) {
+        if new < *old {
+            *old = new;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipregel::{run, CombinerKind, RunConfig, Version};
+    use ipregel_graph::{GraphBuilder, NeighborMode};
+
+    fn sym(edges: &[(u32, u32)]) -> ipregel_graph::Graph {
+        let mut b = GraphBuilder::new(NeighborMode::Both);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+            b.add_edge(v, u);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn two_components_get_two_labels_all_versions() {
+        let g = sym(&[(0, 1), (1, 2), (3, 4)]);
+        for v in Version::paper_versions() {
+            let out = run(&g, &Hashmin, v, &RunConfig::default());
+            assert_eq!(*out.value_of(0), 0, "{}", v.label());
+            assert_eq!(*out.value_of(1), 0);
+            assert_eq!(*out.value_of(2), 0);
+            assert_eq!(*out.value_of(3), 3);
+            assert_eq!(*out.value_of(4), 3);
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_label_themselves() {
+        let mut b = GraphBuilder::new(NeighborMode::Both).declare_id_range(0, 5);
+        b.add_edge(1, 2);
+        b.add_edge(2, 1);
+        let g = b.build().unwrap();
+        let out = run(
+            &g,
+            &Hashmin,
+            Version { combiner: CombinerKind::Spinlock, selection_bypass: true },
+            &RunConfig::default(),
+        );
+        assert_eq!(*out.value_of(0), 0);
+        assert_eq!(*out.value_of(3), 3);
+        assert_eq!(*out.value_of(4), 4);
+        assert_eq!(*out.value_of(1), 1);
+        assert_eq!(*out.value_of(2), 1);
+    }
+
+    #[test]
+    fn long_chain_needs_many_supersteps() {
+        // Label 0 walks down the chain one superstep per hop — the low
+        // density effect Section 7.2 blames for the USA-graph surge.
+        let n = 50u32;
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = sym(&edges);
+        let out = run(
+            &g,
+            &Hashmin,
+            Version { combiner: CombinerKind::Mutex, selection_bypass: true },
+            &RunConfig::default(),
+        );
+        for id in 0..n {
+            assert_eq!(*out.value_of(id), 0);
+        }
+        assert!(out.stats.num_supersteps() as u32 >= n - 1);
+    }
+
+    #[test]
+    fn active_count_decreases_over_time() {
+        // Section 7.1.4: Hashmin's actives decrease from all to none.
+        let edges: Vec<_> = (0..40u32).map(|i| (i, (i + 1) % 40)).collect();
+        let g = sym(&edges);
+        let out = run(
+            &g,
+            &Hashmin,
+            Version { combiner: CombinerKind::Spinlock, selection_bypass: true },
+            &RunConfig::default(),
+        );
+        let first = out.stats.supersteps.first().unwrap().active;
+        let last = out.stats.supersteps.last().unwrap().active;
+        assert_eq!(first, 40);
+        assert!(last < first);
+    }
+}

@@ -1,0 +1,203 @@
+//! k-core decomposition by iterative peeling.
+//!
+//! A vertex is in the k-core if it survives repeatedly deleting all
+//! vertices of (undirected) degree < k. Vertex-centric formulation: each
+//! vertex tracks how many of its neighbours have been removed; when its
+//! remaining degree falls below `k`, it removes itself and notifies its
+//! neighbours (a sum-combined count, so simultaneous removals collapse
+//! into one message). Vertices halt every superstep and reactivate on
+//! notification — bypass-compatible, broadcast-only.
+//!
+//! Expects a symmetric graph (as does the sequential peeling oracle).
+
+use ipregel::{Context, VertexProgram};
+use ipregel_graph::{Graph, VertexId};
+
+/// Per-vertex peeling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreState {
+    /// Still part of the candidate k-core.
+    pub alive: bool,
+    /// Neighbours removed so far.
+    pub lost: u32,
+}
+
+/// k-core membership: after the run, `alive` marks the k-core.
+#[derive(Debug, Clone)]
+pub struct KCore {
+    /// The core order `k`.
+    pub k: u32,
+}
+
+impl KCore {
+    /// Vertices halt every superstep: bypass-compatible.
+    pub const BYPASS_COMPATIBLE: bool = true;
+    /// Broadcast-only communication: pull-combiner compatible.
+    pub const BROADCAST_ONLY: bool = true;
+}
+
+impl VertexProgram for KCore {
+    type Value = CoreState;
+    type Message = u32;
+
+    fn initial_value(&self, _id: VertexId) -> CoreState {
+        CoreState { alive: true, lost: 0 }
+    }
+
+    fn compute<C: Context<Message = u32>>(&self, value: &mut CoreState, ctx: &mut C) {
+        if value.alive {
+            while let Some(m) = ctx.next_message() {
+                value.lost += m;
+            }
+            let remaining = ctx.out_degree().saturating_sub(value.lost);
+            if remaining < self.k {
+                value.alive = false;
+                ctx.broadcast(1);
+            }
+        } else {
+            // Already peeled: drain and ignore.
+            while ctx.next_message().is_some() {}
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combine(old: &mut u32, new: u32) {
+        *old += new;
+    }
+}
+
+/// Sequential peeling oracle: `true` per slot iff the vertex is in the
+/// k-core of the (symmetric) graph.
+pub fn kcore_peeling(g: &Graph, k: u32) -> Vec<bool> {
+    let map = g.address_map();
+    let slots = g.num_slots();
+    let mut degree = vec![0u32; slots];
+    let mut alive = vec![false; slots];
+    for v in map.live_slots() {
+        degree[v as usize] = g.out_degree(v);
+        alive[v as usize] = true;
+    }
+    let mut queue: Vec<u32> =
+        map.live_slots().filter(|&v| degree[v as usize] < k).collect();
+    while let Some(v) = queue.pop() {
+        if !alive[v as usize] {
+            continue;
+        }
+        alive[v as usize] = false;
+        for &u in g.out_neighbors(v) {
+            if alive[u as usize] {
+                degree[u as usize] -= 1;
+                if degree[u as usize] < k {
+                    queue.push(u);
+                }
+            }
+        }
+    }
+    alive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipregel::{run, CombinerKind, RunConfig, Version};
+    use ipregel_graph::{GraphBuilder, NeighborMode};
+
+    fn sym(edges: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new(NeighborMode::Both);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+            b.add_edge(v, u);
+        }
+        b.build().unwrap()
+    }
+
+    /// Triangle {0,1,2} plus a tail 2–3–4.
+    fn triangle_with_tail() -> Graph {
+        sym(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn two_core_is_the_triangle() {
+        let g = triangle_with_tail();
+        for v in Version::paper_versions() {
+            let out = run(&g, &KCore { k: 2 }, v, &RunConfig::default());
+            for id in 0..3 {
+                assert!(out.value_of(id).alive, "{} vertex {id}", v.label());
+            }
+            assert!(!out.value_of(3).alive);
+            assert!(!out.value_of(4).alive);
+        }
+    }
+
+    #[test]
+    fn matches_peeling_oracle_on_a_mesh() {
+        // 4×4 grid, k = 2 and 3.
+        let mut edges = Vec::new();
+        for r in 0..4u32 {
+            for c in 0..4u32 {
+                let v = r * 4 + c;
+                if c + 1 < 4 {
+                    edges.push((v, v + 1));
+                }
+                if r + 1 < 4 {
+                    edges.push((v, v + 4));
+                }
+            }
+        }
+        let g = sym(&edges);
+        for k in [2, 3] {
+            let expected = kcore_peeling(&g, k);
+            let out = run(
+                &g,
+                &KCore { k },
+                Version { combiner: CombinerKind::Spinlock, selection_bypass: true },
+                &RunConfig::default(),
+            );
+            for slot in g.address_map().live_slots() {
+                assert_eq!(
+                    out.values[slot as usize].alive, expected[slot as usize],
+                    "k={k} slot {slot}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_core_keeps_everyone() {
+        let g = triangle_with_tail();
+        let out = run(
+            &g,
+            &KCore { k: 0 },
+            Version { combiner: CombinerKind::Broadcast, selection_bypass: false },
+            &RunConfig::default(),
+        );
+        assert!(out.iter().all(|(_, s)| s.alive));
+    }
+
+    #[test]
+    fn huge_k_removes_everyone() {
+        let g = triangle_with_tail();
+        let out = run(
+            &g,
+            &KCore { k: 100 },
+            Version { combiner: CombinerKind::Mutex, selection_bypass: true },
+            &RunConfig::default(),
+        );
+        assert!(out.iter().all(|(_, s)| !s.alive));
+    }
+
+    #[test]
+    fn cascading_removal_takes_multiple_supersteps() {
+        // A path: the 2-core is empty but peeling cascades inward from
+        // the endpoints one layer per superstep.
+        let g = sym(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let out = run(
+            &g,
+            &KCore { k: 2 },
+            Version { combiner: CombinerKind::Spinlock, selection_bypass: true },
+            &RunConfig::default(),
+        );
+        assert!(out.iter().all(|(_, s)| !s.alive));
+        assert!(out.stats.num_supersteps() >= 3, "cascade must take supersteps");
+    }
+}

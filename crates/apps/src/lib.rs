@@ -1,0 +1,62 @@
+//! Vertex-centric applications for the iPregel reproduction.
+//!
+//! The paper evaluates three applications chosen as vertex-centric
+//! standards (Section 7.1.4), each with a distinct active-vertex
+//! evolution:
+//!
+//! * [`PageRank`] — all vertices active every superstep (pull-combiner
+//!   sweet spot; selection bypass **not** applicable);
+//! * [`Hashmin`] — all active, decreasing to none (connected components
+//!   by min-label propagation);
+//! * [`Sssp`] — one active vertex growing into a bell curve (unit
+//!   weights, Figure 5), plus a weighted variant as an extension;
+//! * [`Bfs`] — level computation, bypass-compatible (extension).
+//!
+//! Beyond the paper's three, the crate ships extension applications that
+//! exercise the other combiner families and the master hook:
+//! [`MaxValue`] (the original Pregel paper's example), [`DegreeCentrality`]
+//! (sum combiner), [`KCore`] (peeling with reactivation),
+//! [`MultiSourceReachability`] (bitmask OR combiner),
+//! [`ConvergingPageRank`] (tolerance stop via `master_compute`),
+//! [`PersonalizedPageRank`], [`WidestPath`] (max-min bottleneck),
+//! [`Bipartiteness`] (odd-cycle witness), and the
+//! [`pseudo_diameter`] double-sweep estimator.
+//!
+//! One modelling limitation worth knowing: the combiner contract (one
+//! merged message per mailbox, §6.3) rules out algorithms that need the
+//! full multiset of neighbour messages — e.g. most-frequent-label
+//! propagation or neighbourhood-intersection triangle counting. Those
+//! fit the queue-based `femtograph-sim` baseline engine instead.
+//!
+//! Every application is accompanied by a sequential reference
+//! implementation in [`mod@reference`], used by the test suites to verify
+//! every engine version produces identical results.
+
+pub mod bfs;
+pub mod bipartite;
+pub mod converging_pagerank;
+pub mod degree;
+pub mod diameter;
+pub mod hashmin;
+pub mod kcore;
+pub mod maxvalue;
+pub mod pagerank;
+pub mod personalized_pagerank;
+pub mod reachability;
+pub mod reference;
+pub mod sssp;
+pub mod widest_path;
+
+pub use bfs::Bfs;
+pub use bipartite::Bipartiteness;
+pub use converging_pagerank::ConvergingPageRank;
+pub use degree::DegreeCentrality;
+pub use diameter::{pseudo_diameter, DiameterEstimate};
+pub use hashmin::Hashmin;
+pub use kcore::KCore;
+pub use maxvalue::MaxValue;
+pub use pagerank::PageRank;
+pub use personalized_pagerank::PersonalizedPageRank;
+pub use reachability::MultiSourceReachability;
+pub use sssp::{Sssp, WeightedSssp};
+pub use widest_path::WidestPath;

@@ -1,0 +1,249 @@
+//! Sequential reference implementations.
+//!
+//! Each vertex-centric application has an independent, textbook
+//! sequential counterpart here. The test suites run every engine version
+//! against these oracles on randomised graphs — if an engine, mailbox, or
+//! worklist is wrong, the mismatch surfaces immediately.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use ipregel_graph::Graph;
+
+/// BFS levels (= unit-weight shortest distances) from `source` (external
+/// id); `u32::MAX` marks unreachable vertices. Indexed by slot.
+pub fn bfs_levels(g: &Graph, source: u32) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.num_slots()];
+    let s = g.index_of(source);
+    dist[s as usize] = 0;
+    let mut q = VecDeque::from([s]);
+    while let Some(v) = q.pop_front() {
+        let d = dist[v as usize];
+        for &u in g.out_neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = d + 1;
+                q.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra distances from `source` using edge weights (1 when the graph
+/// is unweighted); `u32::MAX` marks unreachable. Indexed by slot.
+pub fn dijkstra(g: &Graph, source: u32) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.num_slots()];
+    let s = g.index_of(source);
+    dist[s as usize] = 0;
+    // Max-heap of (Reverse(distance), vertex).
+    let mut heap = BinaryHeap::from([(std::cmp::Reverse(0u32), s)]);
+    while let Some((std::cmp::Reverse(d), v)) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        let neighbors = g.out_neighbors(v);
+        let weights = g.out_weights(v);
+        for (i, &u) in neighbors.iter().enumerate() {
+            let w = weights.map_or(1, |ws| ws[i]);
+            let nd = d.saturating_add(w);
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push((std::cmp::Reverse(nd), u));
+            }
+        }
+    }
+    dist
+}
+
+/// Min-label fixpoint: `label(v)` = the smallest external id `u` such
+/// that `v` is reachable from `u` by a directed path (including `v`
+/// itself). On a symmetric graph this is connected components — exactly
+/// what Hashmin converges to. Indexed by slot; desolate slots keep
+/// `u32::MAX`.
+pub fn minlabel_fixpoint(g: &Graph) -> Vec<u32> {
+    let map = g.address_map();
+    let mut label = vec![u32::MAX; g.num_slots()];
+    for v in map.live_slots() {
+        label[v as usize] = map.id_of(v);
+    }
+    // Worklist relaxation: propagate labels along out-edges.
+    let mut queue: VecDeque<u32> = map.live_slots().collect();
+    let mut queued = vec![true; g.num_slots()];
+    while let Some(v) = queue.pop_front() {
+        queued[v as usize] = false;
+        let l = label[v as usize];
+        for &u in g.out_neighbors(v) {
+            if l < label[u as usize] {
+                label[u as usize] = l;
+                if !queued[u as usize] {
+                    queued[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    label
+}
+
+/// Connected components of the *symmetrised* graph via union-find,
+/// labelled by minimum external id. Indexed by slot.
+pub fn components_union_find(g: &Graph) -> Vec<u32> {
+    let map = g.address_map();
+    let slots = g.num_slots();
+    let mut parent: Vec<u32> = (0..slots as u32).collect();
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            parent[v as usize] = parent[parent[v as usize] as usize];
+            v = parent[v as usize];
+        }
+        v
+    }
+    for v in map.live_slots() {
+        for &u in g.out_neighbors(v) {
+            let (a, b) = (find(&mut parent, v), find(&mut parent, u));
+            if a != b {
+                parent[a as usize] = b;
+            }
+        }
+    }
+    // Label every slot with the min external id of its root class.
+    let mut min_id = vec![u32::MAX; slots];
+    for v in map.live_slots() {
+        let r = find(&mut parent, v) as usize;
+        min_id[r] = min_id[r].min(map.id_of(v));
+    }
+    let mut label = vec![u32::MAX; slots];
+    for v in map.live_slots() {
+        let r = find(&mut parent, v) as usize;
+        label[v as usize] = min_id[r];
+    }
+    label
+}
+
+/// Power-iteration PageRank with the exact semantics of the paper's
+/// Figure 6 (fixed iteration count, sinks leak mass, damping 0.85 by
+/// default). Indexed by slot.
+pub fn pagerank_power(g: &Graph, rounds: usize, damping: f64) -> Vec<f64> {
+    let map = g.address_map();
+    let n = g.num_vertices() as f64;
+    let slots = g.num_slots();
+    let mut rank = vec![0.0f64; slots];
+    for v in map.live_slots() {
+        rank[v as usize] = 1.0 / n;
+    }
+    for _ in 0..rounds {
+        let mut incoming = vec![0.0f64; slots];
+        for v in map.live_slots() {
+            let deg = g.out_degree(v);
+            if deg > 0 {
+                let share = rank[v as usize] / f64::from(deg);
+                for &u in g.out_neighbors(v) {
+                    incoming[u as usize] += share;
+                }
+            }
+        }
+        for v in map.live_slots() {
+            rank[v as usize] = (1.0 - damping) / n + damping * incoming[v as usize];
+        }
+    }
+    rank
+}
+
+/// Maximum relative difference between two rank vectors over live slots
+/// (for comparing engine output against [`pagerank_power`]; parallel
+/// summation reorders float additions, so exact equality is not
+/// expected).
+pub fn max_rel_diff(g: &Graph, a: &[f64], b: &[f64]) -> f64 {
+    g.address_map()
+        .live_slots()
+        .map(|v| {
+            let (x, y) = (a[v as usize], b[v as usize]);
+            let scale = x.abs().max(y.abs()).max(1e-300);
+            (x - y).abs() / scale
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipregel_graph::{GraphBuilder, NeighborMode};
+
+    fn diamond() -> Graph {
+        // 0→1→3, 0→2→3 with weights making the 2-branch cheaper.
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        b.add_weighted_edge(0, 1, 10);
+        b.add_weighted_edge(1, 3, 10);
+        b.add_weighted_edge(0, 2, 1);
+        b.add_weighted_edge(2, 3, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bfs_counts_hops() {
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let g = b.build().unwrap();
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn dijkstra_takes_cheap_branch() {
+        let g = diamond();
+        assert_eq!(dijkstra(&g, 0), vec![0, 10, 1, 2]);
+    }
+
+    #[test]
+    fn dijkstra_on_unweighted_equals_bfs() {
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (0, 3), (3, 4)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(dijkstra(&g, 0), bfs_levels(&g, 0));
+    }
+
+    #[test]
+    fn minlabel_respects_direction() {
+        // 0→1 but 2 is only reachable from 3 (3→2): label(2) = 2? No — 3→2
+        // means 2 hears 3's label but 3 > 2, so label(2) stays 2; label(3)=3.
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        b.add_edge(0, 1);
+        b.add_edge(3, 2);
+        let g = b.build().unwrap();
+        assert_eq!(minlabel_fixpoint(&g), vec![0, 0, 2, 3]);
+    }
+
+    #[test]
+    fn union_find_matches_minlabel_on_symmetric_graphs() {
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        for (u, v) in [(0, 1), (1, 0), (2, 3), (3, 2), (3, 4), (4, 3)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(components_union_find(&g), minlabel_fixpoint(&g));
+    }
+
+    #[test]
+    fn pagerank_power_is_uniform_on_cycle() {
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        for i in 0..4u32 {
+            b.add_edge(i, (i + 1) % 4);
+        }
+        let g = b.build().unwrap();
+        let r = pagerank_power(&g, 20, 0.85);
+        for v in 0..4 {
+            assert!((r[v] - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_rel_diff_detects_divergence() {
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        assert_eq!(max_rel_diff(&g, &[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!(max_rel_diff(&g, &[1.0, 2.0], &[1.0, 3.0]) > 0.3);
+    }
+}

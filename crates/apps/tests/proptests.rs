@@ -1,0 +1,142 @@
+//! Property tests: every application against its sequential oracle on
+//! randomised graphs, across engine versions.
+
+use ipregel::{run, CombinerKind, RunConfig, Version};
+use ipregel_apps::kcore::kcore_peeling;
+use ipregel_apps::maxvalue::maxvalue_fixpoint;
+use ipregel_apps::reachability::reachability_oracle;
+use ipregel_apps::widest_path::widest_path_oracle;
+use ipregel_apps::{
+    reference, ConvergingPageRank, DegreeCentrality, KCore, MaxValue, MultiSourceReachability,
+    WidestPath,
+};
+use ipregel_graph::{Graph, GraphBuilder, NeighborMode};
+use proptest::prelude::*;
+
+/// Random directed graph on up to 50 vertices.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2u32..50, prop::collection::vec((0u32..50, 0u32..50), 1..200)).prop_map(|(n, raw)| {
+        let mut b = GraphBuilder::new(NeighborMode::Both).declare_id_range(0, n);
+        let mut any = false;
+        for (u, v) in raw {
+            if u < n && v < n {
+                b.add_edge(u, v);
+                any = true;
+            }
+        }
+        if !any {
+            b.add_edge(0, n - 1);
+        }
+        b.build().expect("arb graph builds")
+    })
+}
+
+/// Random *symmetric* graph (for k-core).
+fn arb_sym_graph() -> impl Strategy<Value = Graph> {
+    (2u32..40, prop::collection::vec((0u32..40, 0u32..40), 1..120)).prop_map(|(n, raw)| {
+        let mut b = GraphBuilder::new(NeighborMode::Both).declare_id_range(0, n);
+        let mut any = false;
+        for (u, v) in raw {
+            if u < n && v < n && u != v {
+                b.add_edge(u, v);
+                b.add_edge(v, u);
+                any = true;
+            }
+        }
+        if !any {
+            b.add_edge(0, 1);
+            b.add_edge(1, 0);
+        }
+        b.build().expect("arb sym graph builds")
+    })
+}
+
+fn spin_bypass() -> Version {
+    Version { combiner: CombinerKind::Spinlock, selection_bypass: true }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn maxvalue_matches_fixpoint(g in arb_graph()) {
+        let expected = maxvalue_fixpoint(&g);
+        for v in Version::paper_versions() {
+            let out = run(&g, &MaxValue, v, &RunConfig::default());
+            prop_assert_eq!(&out.values, &expected, "{}", v.label());
+        }
+    }
+
+    #[test]
+    fn kcore_matches_peeling(g in arb_sym_graph(), k in 0u32..6) {
+        let expected = kcore_peeling(&g, k);
+        let out = run(&g, &KCore { k }, spin_bypass(), &RunConfig::default());
+        for slot in g.address_map().live_slots() {
+            prop_assert_eq!(out.values[slot as usize].alive, expected[slot as usize], "slot {}", slot);
+        }
+    }
+
+    #[test]
+    fn widest_path_matches_oracle(
+        n in 2u32..40,
+        raw in prop::collection::vec((0u32..40, 0u32..40, 1u32..50), 1..120),
+    ) {
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly).declare_id_range(0, n);
+        let mut any = false;
+        for (u, v, w) in raw {
+            if u < n && v < n {
+                b.add_weighted_edge(u, v, w);
+                any = true;
+            }
+        }
+        prop_assume!(any);
+        let g = b.build().unwrap();
+        let expected = widest_path_oracle(&g, 0);
+        for bypass in [false, true] {
+            let out = run(
+                &g,
+                &WidestPath { source: 0 },
+                Version { combiner: CombinerKind::Spinlock, selection_bypass: bypass },
+                &RunConfig::default(),
+            );
+            prop_assert_eq!(&out.values, &expected, "bypass={}", bypass);
+        }
+    }
+
+    #[test]
+    fn reachability_matches_bfs_oracle(g in arb_graph(), picks in prop::collection::vec(0u32..50, 1..8)) {
+        let n = g.num_vertices() as u32;
+        let sources: Vec<u32> = picks.into_iter().map(|p| p % n).collect();
+        let q = MultiSourceReachability::new(sources.clone());
+        let expected = reachability_oracle(&g, &sources);
+        let out = run(&g, &q, spin_bypass(), &RunConfig::default());
+        prop_assert_eq!(&out.values, &expected);
+    }
+
+    #[test]
+    fn degree_centrality_matches_graph_counts(g in arb_graph()) {
+        let out = run(&g, &DegreeCentrality, spin_bypass(), &RunConfig::default());
+        for slot in g.address_map().live_slots() {
+            let d = &out.values[slot as usize];
+            prop_assert_eq!(d.out_degree, g.out_degree(slot));
+            prop_assert_eq!(d.in_degree, g.in_degree(slot));
+        }
+    }
+
+    #[test]
+    fn converging_pagerank_approaches_power_iteration(g in arb_graph()) {
+        let pr = ConvergingPageRank { damping: 0.85, tolerance: 1e-11, max_rounds: 400 };
+        let out = run(
+            &g,
+            &pr,
+            Version { combiner: CombinerKind::Broadcast, selection_bypass: false },
+            &RunConfig::default(),
+        );
+        let expected = reference::pagerank_power(&g, 400, 0.85);
+        for slot in g.address_map().live_slots() {
+            let got = out.values[slot as usize].0;
+            let want = expected[slot as usize];
+            prop_assert!((got - want).abs() < 1e-8, "slot {}: {} vs {}", slot, got, want);
+        }
+    }
+}

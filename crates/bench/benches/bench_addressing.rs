@@ -1,0 +1,81 @@
+//! Section 5 ablation: identifier-to-location translation cost of the
+//! three iPregel strategies against the conventional hashmap layer the
+//! paper argues against. The array strategies should be near-free; the
+//! hashmap pays hashing and cache misses on every delivery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipregel_graph::{AddressMap, HashAddressMap};
+use std::hint::black_box;
+
+const N: u32 = 1_000_000;
+const LOOKUPS: usize = 1_000_000;
+
+fn lookup_ids(base: u32) -> Vec<u32> {
+    // Deterministic pseudo-random id stream in [base, base + N).
+    let mut ids = Vec::with_capacity(LOOKUPS);
+    let mut x = 0x2545f491u32;
+    for _ in 0..LOOKUPS {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        ids.push(base + (x % N));
+    }
+    ids
+}
+
+fn addressing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("addressing_lookup");
+    group.sample_size(20);
+
+    let direct = AddressMap::direct(N);
+    let ids0 = lookup_ids(0);
+    group.bench_function(BenchmarkId::from_parameter("direct"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &id in &ids0 {
+                acc += u64::from(direct.index_of(black_box(id)));
+            }
+            black_box(acc)
+        })
+    });
+
+    let offset = AddressMap::offset(1_000_000, N);
+    let ids_off = lookup_ids(1_000_000);
+    group.bench_function(BenchmarkId::from_parameter("offset"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &id in &ids_off {
+                acc += u64::from(offset.index_of(black_box(id)));
+            }
+            black_box(acc)
+        })
+    });
+
+    let desolate = AddressMap::desolate(1, N);
+    let ids1 = lookup_ids(1);
+    group.bench_function(BenchmarkId::from_parameter("desolate"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &id in &ids1 {
+                acc += u64::from(desolate.index_of(black_box(id)));
+            }
+            black_box(acc)
+        })
+    });
+
+    let hash = HashAddressMap::new(1, N);
+    group.bench_function(BenchmarkId::from_parameter("hashmap"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &id in &ids1 {
+                acc += u64::from(hash.index_of(black_box(id)).unwrap());
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, addressing);
+criterion_main!(benches);

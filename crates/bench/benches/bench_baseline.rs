@@ -1,0 +1,54 @@
+//! Criterion companion to the `baseline` binary: iPregel's best version
+//! against the naive shared-memory engine, per application.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use femtograph_sim::run_naive;
+use ipregel::{run, CombinerKind, RunConfig, Version};
+use ipregel_apps::{Hashmin, PageRank, Sssp};
+use ipregel_bench::SEED;
+use ipregel_graph::generators::analogs::WIKIPEDIA;
+use ipregel_graph::NeighborMode;
+use std::hint::black_box;
+
+fn baseline(c: &mut Criterion) {
+    let g = WIKIPEDIA.analog_graph(2000, SEED, NeighborMode::Both);
+    let cfg = RunConfig::default();
+
+    let mut pr = c.benchmark_group("baseline_pagerank");
+    pr.sample_size(10);
+    let p = PageRank { rounds: 10, damping: 0.85 };
+    pr.bench_function(BenchmarkId::from_parameter("ipregel_broadcast"), |b| {
+        let v = Version { combiner: CombinerKind::Broadcast, selection_bypass: false };
+        b.iter(|| black_box(run(&g, &p, v, &cfg)));
+    });
+    pr.bench_function(BenchmarkId::from_parameter("naive"), |b| {
+        b.iter(|| black_box(run_naive(&g, &p, &cfg)));
+    });
+    pr.finish();
+
+    let mut hm = c.benchmark_group("baseline_hashmin");
+    hm.sample_size(10);
+    hm.bench_function(BenchmarkId::from_parameter("ipregel_spin_bypass"), |b| {
+        let v = Version { combiner: CombinerKind::Spinlock, selection_bypass: true };
+        b.iter(|| black_box(run(&g, &Hashmin, v, &cfg)));
+    });
+    hm.bench_function(BenchmarkId::from_parameter("naive"), |b| {
+        b.iter(|| black_box(run_naive(&g, &Hashmin, &cfg)));
+    });
+    hm.finish();
+
+    let mut ss = c.benchmark_group("baseline_sssp");
+    ss.sample_size(10);
+    let s = Sssp { source: 2 };
+    ss.bench_function(BenchmarkId::from_parameter("ipregel_spin_bypass"), |b| {
+        let v = Version { combiner: CombinerKind::Spinlock, selection_bypass: true };
+        b.iter(|| black_box(run(&g, &s, v, &cfg)));
+    });
+    ss.bench_function(BenchmarkId::from_parameter("naive"), |b| {
+        b.iter(|| black_box(run_naive(&g, &s, &cfg)));
+    });
+    ss.finish();
+}
+
+criterion_group!(benches, baseline);
+criterion_main!(benches);

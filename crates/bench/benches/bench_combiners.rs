@@ -1,0 +1,60 @@
+//! Section 6.1 ablation: delivery throughput of the three push-mailbox
+//! synchronisation strategies (block-waiting mutex, busy-waiting
+//! spinlock, lock-free CAS) under contention and without.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipregel::{AtomicMailbox, Mailbox, MutexMailbox, SpinMailbox};
+use rayon::prelude::*;
+use std::hint::black_box;
+
+fn min32(old: &mut u32, new: u32) {
+    if new < *old {
+        *old = new;
+    }
+}
+
+/// `threads × per_thread` deliveries spread over `mailboxes` boxes.
+fn hammer<MB: Mailbox<u32>>(mailboxes: usize, deliveries: usize) -> u64 {
+    let boxes: Vec<MB> = (0..mailboxes).map(|_| MB::empty()).collect();
+    (0..deliveries).into_par_iter().for_each(|i| {
+        let target = (i * 2654435761) % mailboxes;
+        boxes[target].deliver((i as u32) | 1, min32);
+    });
+    boxes.iter().filter(|b| b.has_message()).count() as u64
+}
+
+fn combiners(c: &mut Criterion) {
+    const DELIVERIES: usize = 200_000;
+    // Spread regime: many mailboxes, little contention (the common case —
+    // one inbox per vertex).
+    let mut spread = c.benchmark_group("combiner_deliver_spread");
+    spread.sample_size(20);
+    spread.bench_function(BenchmarkId::from_parameter("mutex"), |b| {
+        b.iter(|| black_box(hammer::<MutexMailbox<u32>>(50_000, DELIVERIES)))
+    });
+    spread.bench_function(BenchmarkId::from_parameter("spinlock"), |b| {
+        b.iter(|| black_box(hammer::<SpinMailbox<u32>>(50_000, DELIVERIES)))
+    });
+    spread.bench_function(BenchmarkId::from_parameter("lockfree"), |b| {
+        b.iter(|| black_box(hammer::<AtomicMailbox<u32>>(50_000, DELIVERIES)))
+    });
+    spread.finish();
+
+    // Contended regime: few mailboxes, heavy collisions (hub vertices of
+    // a power-law graph) — where busy-waiting reactivity matters.
+    let mut hot = c.benchmark_group("combiner_deliver_contended");
+    hot.sample_size(20);
+    hot.bench_function(BenchmarkId::from_parameter("mutex"), |b| {
+        b.iter(|| black_box(hammer::<MutexMailbox<u32>>(8, DELIVERIES)))
+    });
+    hot.bench_function(BenchmarkId::from_parameter("spinlock"), |b| {
+        b.iter(|| black_box(hammer::<SpinMailbox<u32>>(8, DELIVERIES)))
+    });
+    hot.bench_function(BenchmarkId::from_parameter("lockfree"), |b| {
+        b.iter(|| black_box(hammer::<AtomicMailbox<u32>>(8, DELIVERIES)))
+    });
+    hot.finish();
+}
+
+criterion_group!(benches, combiners);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion companion to the Figure 7 binary: the full version sweep on
+//! small analogs, with statistical rigour (the paper reruns until the
+//! 99%-confidence margin is under 1% — criterion's sampling is the
+//! modern equivalent).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipregel::{run, RunConfig, Version, VertexProgram};
+use ipregel_apps::{Hashmin, PageRank, Sssp};
+use ipregel_bench::SEED;
+use ipregel_graph::generators::analogs::{USA_ROADS, WIKIPEDIA};
+use ipregel_graph::{Graph, NeighborMode};
+use std::hint::black_box;
+
+fn bench_app<P: VertexProgram>(
+    c: &mut Criterion,
+    group_name: &str,
+    g: &Graph,
+    program: &P,
+    versions: &[Version],
+) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for &v in versions {
+        group.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, &v| {
+            b.iter(|| black_box(run(g, program, v, &RunConfig::default())));
+        });
+    }
+    group.finish();
+}
+
+fn fig7(c: &mut Criterion) {
+    // Bench-sized analogs (larger divisors than the figure binary).
+    let wiki = WIKIPEDIA.analog_graph(2000, SEED, NeighborMode::Both);
+    let usa = USA_ROADS.analog_graph(4000, SEED + 1, NeighborMode::Both);
+    let all = Version::paper_versions();
+    let no_bypass: Vec<Version> = all.iter().copied().filter(|v| !v.selection_bypass).collect();
+
+    for (label, g) in [("wiki", &wiki), ("usa", &usa)] {
+        bench_app(c, &format!("fig7_pagerank_{label}"), g, &PageRank { rounds: 10, damping: 0.85 }, &no_bypass);
+        bench_app(c, &format!("fig7_hashmin_{label}"), g, &Hashmin, &all);
+        bench_app(c, &format!("fig7_sssp_{label}"), g, &Sssp { source: 2 }, &all);
+    }
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

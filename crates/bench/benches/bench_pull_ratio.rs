@@ -1,0 +1,72 @@
+//! Section 6.2 ablation: pull-combiner sensitivity to the active-vertex
+//! ratio. The paper's factor (1): every vertex fetches from all its
+//! in-neighbours each superstep, so the fewer of them actually
+//! broadcast, the more fetches are unfruitful. We fix the graph and vary
+//! the fraction of vertices that keep broadcasting; the pull engine's
+//! time per superstep should stay roughly flat (the gather dominates)
+//! while the push engine's shrinks with the ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipregel::{run, CombinerKind, Context, RunConfig, Version, VertexProgram};
+use ipregel_graph::generators::erdos_renyi::erdos_renyi_edges;
+use ipregel_graph::{GraphBuilder, NeighborMode, VertexId};
+use std::hint::black_box;
+
+/// Vertices whose id hashes below the threshold stay active and
+/// broadcast for `rounds` supersteps; the rest halt immediately.
+struct PartialBroadcast {
+    /// Active fraction in percent.
+    percent: u32,
+    rounds: usize,
+}
+
+impl VertexProgram for PartialBroadcast {
+    type Value = u64;
+    type Message = u64;
+
+    fn initial_value(&self, _id: VertexId) -> u64 {
+        0
+    }
+
+    fn compute<C: Context<Message = u64>>(&self, value: &mut u64, ctx: &mut C) {
+        while let Some(m) = ctx.next_message() {
+            *value = value.wrapping_add(m);
+        }
+        let chatty = (ctx.id().wrapping_mul(2654435761) % 100) < self.percent;
+        if chatty && ctx.superstep() < self.rounds {
+            ctx.broadcast(1);
+        } else {
+            ctx.vote_to_halt();
+        }
+    }
+
+    fn combine(old: &mut u64, new: u64) {
+        *old += new;
+    }
+}
+
+fn pull_ratio(c: &mut Criterion) {
+    let mut b = GraphBuilder::new(NeighborMode::Both);
+    for (u, v) in erdos_renyi_edges(20_000, 200_000, 5) {
+        b.add_edge(u, v);
+    }
+    let g = b.build().unwrap();
+
+    for (engine, combiner) in
+        [("pull", CombinerKind::Broadcast), ("push_spin", CombinerKind::Spinlock)]
+    {
+        let mut group = c.benchmark_group(format!("pull_ratio_{engine}"));
+        group.sample_size(10);
+        for percent in [5u32, 25, 50, 100] {
+            let p = PartialBroadcast { percent, rounds: 8 };
+            let v = Version { combiner, selection_bypass: false };
+            group.bench_with_input(BenchmarkId::from_parameter(percent), &percent, |bch, _| {
+                bch.iter(|| black_box(run(&g, &p, v, &RunConfig::default())));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, pull_ratio);
+criterion_main!(benches);

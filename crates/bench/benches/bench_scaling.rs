@@ -1,0 +1,53 @@
+//! Internal-parallelism ablation (the paper's future-work item): how the
+//! engines scale with thread count and load-balancing grain.
+//!
+//! The paper ran everything on 2 threads (its EC2 nodes had 2 cores) and
+//! closes by naming "further investigations about load-balancing
+//! strategies and internal parallelism" as future work; this suite is
+//! that investigation at benchmark scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipregel::{run, CombinerKind, RunConfig, Version};
+use ipregel_apps::{Hashmin, PageRank};
+use ipregel_bench::SEED;
+use ipregel_graph::generators::analogs::WIKIPEDIA;
+use ipregel_graph::NeighborMode;
+use std::hint::black_box;
+
+fn scaling(c: &mut Criterion) {
+    let g = WIKIPEDIA.analog_graph(1500, SEED, NeighborMode::Both);
+
+    // Thread scaling of the two engine shapes.
+    for (label, combiner) in
+        [("push_spin", CombinerKind::Spinlock), ("pull", CombinerKind::Broadcast)]
+    {
+        let mut group = c.benchmark_group(format!("threads_pagerank_{label}"));
+        group.sample_size(10);
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = RunConfig { threads: Some(threads), ..RunConfig::default() };
+            let v = Version { combiner, selection_bypass: false };
+            group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+                b.iter(|| {
+                    black_box(run(&g, &PageRank { rounds: 5, damping: 0.85 }, v, &cfg))
+                });
+            });
+        }
+        group.finish();
+    }
+
+    // Grain (minimum vertices per rayon task): too fine pays scheduling
+    // overhead, too coarse loses balance on skewed frontiers.
+    let mut group = c.benchmark_group("grain_hashmin_spin_bypass");
+    group.sample_size(10);
+    for grain in [1usize, 64, 1024, 16_384] {
+        let cfg = RunConfig { grain: Some(grain), ..RunConfig::default() };
+        let v = Version { combiner: CombinerKind::Spinlock, selection_bypass: true };
+        group.bench_with_input(BenchmarkId::from_parameter(grain), &grain, |b, _| {
+            b.iter(|| black_box(run(&g, &Hashmin, v, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

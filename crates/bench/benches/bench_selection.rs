@@ -1,0 +1,38 @@
+//! Section 4 ablation: scan selection vs the selection bypass as the
+//! active ratio shrinks. SSSP on a long path is the extreme case — one
+//! active vertex per superstep, so the scan's per-superstep O(|V|) check
+//! dominates while the bypass touches only the frontier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipregel::{run, CombinerKind, RunConfig, Version};
+use ipregel_apps::Sssp;
+use ipregel_graph::generators::analogs::USA_ROADS;
+use ipregel_graph::generators::erdos_renyi::erdos_renyi_edges;
+use ipregel_graph::{GraphBuilder, NeighborMode};
+use std::hint::black_box;
+
+fn selection(c: &mut Criterion) {
+    // Sparse, high-diameter road analog: the bypass's best case.
+    let road = USA_ROADS.analog_graph(4000, 7, NeighborMode::Both);
+    // Dense random graph: shallow BFS tree, bypass matters less.
+    let mut b = GraphBuilder::new(NeighborMode::Both);
+    for (u, v) in erdos_renyi_edges(5_000, 50_000, 11) {
+        b.add_edge(u, v);
+    }
+    let dense = b.build().unwrap();
+
+    for (label, g) in [("road", &road), ("dense", &dense)] {
+        let mut group = c.benchmark_group(format!("selection_sssp_{label}"));
+        group.sample_size(10);
+        for (name, bypass) in [("scan", false), ("bypass", true)] {
+            let v = Version { combiner: CombinerKind::Spinlock, selection_bypass: bypass };
+            group.bench_function(BenchmarkId::from_parameter(name), |bch| {
+                bch.iter(|| black_box(run(g, &Sssp { source: 2 }, v, &RunConfig::default())));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, selection);
+criterion_main!(benches);

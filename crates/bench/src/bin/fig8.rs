@@ -1,0 +1,185 @@
+//! Figure 8: evolution of the Pregel+ runtime as the number of nodes
+//! varies, against the iPregel single-node reference.
+//!
+//! For each application and graph this binary:
+//! 1. measures iPregel's best version on a single node (broadcast for
+//!    PageRank, spinlock + selection bypass for Hashmin and SSSP — the
+//!    Section 7.2 winners);
+//! 2. simulates Pregel+ on 1, 2, 4, 8 and 16 two-core nodes, with memory
+//!    failures detected per node (the figure's shaded region);
+//! 3. applies the paper's footnote-8 extrapolation (constant doubling
+//!    efficiency) backward over failures and forward past 16 nodes;
+//! 4. reports the lead change — the node count at which Pregel+ first
+//!    outperforms iPregel.
+
+use ipregel::{run, CombinerKind, RunConfig, Version, VertexProgram};
+use ipregel_apps::{Hashmin, PageRank, Sssp};
+use ipregel_bench::svg::{save_svg, LineChart, Scale, Series, PALETTE};
+use ipregel_bench::{
+    append_result, rule, threads, PaperGraphs, PAGERANK_ROUNDS, SSSP_SOURCE,
+};
+use ipregel_graph::Graph;
+use pregelplus_sim::{
+    extrapolate_series, lead_change, simulate, ClusterSpec, CostModel, MemoryModel, NodesPoint,
+};
+use serde::Serialize;
+
+const MEASURED_NODES: [usize; 5] = [1, 2, 4, 8, 16];
+const EXTRAPOLATE_TO: usize = 32_768;
+
+#[derive(Serialize)]
+struct Record {
+    figure: &'static str,
+    graph: String,
+    app: &'static str,
+    ipregel_seconds: f64,
+    series: Vec<NodesPoint>,
+    lead_change: Option<usize>,
+}
+
+fn bench_app<P: VertexProgram>(
+    graph_label: &str,
+    g: &Graph,
+    divisor: u64,
+    app: &'static str,
+    program: &P,
+    ipregel_version: Version,
+) {
+    // 1. iPregel single-node reference (measured).
+    let cfg = RunConfig { threads: Some(threads()), ..RunConfig::default() };
+    let reference = run(g, program, ipregel_version, &cfg);
+    let ref_secs = reference.stats.total_time.as_secs_f64();
+
+    // 2. Pregel+ simulation across node counts. Per-operation costs and
+    // the per-superstep barrier are physical constants — they do NOT
+    // scale with the graph divisor (a real cluster's barrier doesn't
+    // shrink when the graph does; this fixed floor is exactly what makes
+    // the paper's SSSP/USA configuration unwinnable for Pregel+).
+    let cost = CostModel::default();
+    let memory = MemoryModel::pregel_plus(std::mem::size_of::<P::Message>())
+        .with_scaled_runtime(divisor);
+    let mut series = Vec::new();
+    for nodes in MEASURED_NODES {
+        let cluster = ClusterSpec::m4_large_scaled(nodes, divisor);
+        let out = simulate(g, program, &cluster, &cost, &memory, Some(100_000));
+        if out.memory_ok {
+            series.push(NodesPoint::measured(nodes, out.simulated_seconds));
+        } else {
+            series.push(NodesPoint::failed(nodes));
+        }
+    }
+
+    // 3. Footnote-8 extrapolation, backward over failures and forward.
+    let extended = extrapolate_series(&series, EXTRAPOLATE_TO);
+
+    // 4. Lead change.
+    let lc = lead_change(&extended, ref_secs);
+
+    println!("\n  {app} — iPregel reference ({}) = {ref_secs:.3}s", ipregel_version.label());
+    println!("    {:>6} {:>14} {:>14}", "nodes", "Pregel+ (s)", "note");
+    for p in &extended {
+        if p.nodes > 16 && lc.map_or(p.nodes > 64, |l| p.nodes > (4 * l).max(64)) {
+            continue; // keep the printout short past the interesting range
+        }
+        let note = match (p.seconds, p.extrapolated) {
+            (None, _) => "memory failure",
+            (Some(_), true) => "extrapolated",
+            (Some(_), false) => "",
+        };
+        match p.seconds {
+            Some(s) => println!("    {:>6} {:>14.3} {:>14}", p.nodes, s, note),
+            None => println!("    {:>6} {:>14} {:>14}", p.nodes, "-", note),
+        }
+    }
+    match lc {
+        Some(n) => println!("    -> lead change at {n} nodes"),
+        None => println!(
+            "    -> no lead change within {EXTRAPOLATE_TO} nodes (paper reports \
+             >15,000 for SSSP/USA)"
+        ),
+    }
+    // Figure file: measured solid, extrapolated dashed, iPregel as a
+    // horizontal reference line — the visual grammar of the paper's
+    // Figure 8 panels.
+    let cap = lc.map_or(64, |l| (4 * l).max(64));
+    let visible: Vec<&NodesPoint> =
+        extended.iter().filter(|p| p.nodes <= cap && p.seconds.is_some()).collect();
+    let measured: Vec<(f64, f64)> = visible
+        .iter()
+        .filter(|p| !p.extrapolated)
+        .map(|p| (p.nodes as f64, p.seconds.unwrap()))
+        .collect();
+    let mut extra: Vec<(f64, f64)> = visible
+        .iter()
+        .filter(|p| p.extrapolated)
+        .map(|p| (p.nodes as f64, p.seconds.unwrap()))
+        .collect();
+    if let (Some(&last), true) = (measured.last(), !extra.is_empty()) {
+        extra.insert(0, last); // join the dashed segment to the solid one
+    }
+    let max_x = visible.last().map_or(16.0, |p| p.nodes as f64);
+    let chart = LineChart {
+        title: format!("Figure 8 — {app}, {graph_label} analog"),
+        x_label: "nodes".into(),
+        y_label: "runtime (s)".into(),
+        x_scale: Scale::Log,
+        y_scale: Scale::Log,
+        series: vec![
+            Series { name: "Pregel+ measured".into(), points: measured, color: PALETTE[0].into(), dashed: false },
+            Series { name: "Pregel+ extrapolated".into(), points: extra, color: PALETTE[0].into(), dashed: true },
+            Series {
+                name: "iPregel single-node".into(),
+                points: vec![(1.0, ref_secs), (max_x, ref_secs)],
+                color: PALETTE[1].into(),
+                dashed: false,
+            },
+        ],
+    };
+    let file = format!("fig8_{}_{}.svg", graph_label.replace(' ', "_"), app.to_lowercase());
+    if let Some(path) = save_svg(&file, &chart.to_svg()) {
+        println!("    figure written to {}", path.display());
+    }
+    append_result(
+        "fig8.jsonl",
+        &Record {
+            figure: "fig8",
+            graph: graph_label.to_string(),
+            app,
+            ipregel_seconds: ref_secs,
+            series: extended,
+            lead_change: lc,
+        },
+    );
+}
+
+fn main() {
+    let graphs = PaperGraphs::build();
+    println!(
+        "Figure 8: Evolution of the Pregel+ runtime (simulated) of PageRank,\n\
+         Hashmin and SSSP as the number of nodes varies, vs the measured\n\
+         iPregel single-node reference ({} threads).",
+        threads()
+    );
+
+    let broadcast = Version { combiner: CombinerKind::Broadcast, selection_bypass: false };
+    let spin_bypass = Version { combiner: CombinerKind::Spinlock, selection_bypass: true };
+
+    for (label, g, divisor, _) in graphs.each() {
+        rule(78);
+        println!(
+            "{label} graph (divisor {divisor}: |V|={}, |E|={})",
+            g.num_vertices(),
+            g.num_edges()
+        );
+        bench_app(label, g, divisor, "PageRank", &PageRank { rounds: PAGERANK_ROUNDS, damping: 0.85 }, broadcast);
+        bench_app(label, g, divisor, "Hashmin", &Hashmin, spin_bypass);
+        bench_app(label, g, divisor, "SSSP", &Sssp { source: SSSP_SOURCE }, spin_bypass);
+    }
+    rule(78);
+    println!(
+        "Paper shape to compare against: iPregel wins on a single node for every\n\
+         app/graph (3.5–70×); Pregel+ needs ≥11 nodes to catch up (11/30 PageRank,\n\
+         11/11 Hashmin, 13/>15,000 SSSP on Wikipedia/USA respectively); low node\n\
+         counts hit memory failures."
+    );
+}

@@ -1,0 +1,147 @@
+//! Figure 9: evolution of the iPregel maximum resident set size on
+//! PageRank as the size of synthetic Twitter graphs varies.
+//!
+//! Three layers, mirroring Section 7.4.2's method:
+//! 1. **Measured** — build synthetic graphs proportional to Twitter at
+//!    10%…70% (scaled by `IPREGEL_TWITTER_DIVISOR`), run pull-combiner
+//!    PageRank, and report the engine's exact byte accounting;
+//! 2. **Linearity check** — fit a line through the measured points (the
+//!    paper's justification for extrapolating);
+//! 3. **Model at paper scale** — the calibrated RSS model reports the
+//!    8 GB breaking point (70%), the 100% projection (≈11 GB), and the
+//!    Friendster experiment (≈14.45 GB under 16 GB).
+
+use ipregel::{run, CombinerKind, RunConfig, Version};
+use ipregel_apps::PageRank;
+use ipregel_bench::svg::{save_svg, LineChart, Scale, Series, PALETTE};
+use ipregel_bench::{append_result, human_bytes, rule, threads, twitter_divisor, twitter_spec, SEED};
+use ipregel_graph::generators::analogs::FRIENDSTER;
+use ipregel_graph::NeighborMode;
+use ipregel_mem::rss::validate_linear;
+use ipregel_mem::{breaking_point_percent, RssModel, GB};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    figure: &'static str,
+    percent: u32,
+    divisor: u64,
+    vertices: usize,
+    edges: u64,
+    measured_bytes: usize,
+    modelled_paper_scale_bytes: f64,
+}
+
+fn main() {
+    let divisor = twitter_divisor();
+    let spec = twitter_spec();
+    let model = RssModel::default();
+
+    println!(
+        "Figure 9: iPregel maximum resident set size of PageRank as the size of\n\
+         synthetic Twitter graphs varies (divisor {divisor}, {} threads)",
+        threads()
+    );
+    rule(78);
+    println!(
+        "{:>8} {:>12} {:>14} {:>16} {:>18}",
+        "percent", "|V|", "|E|", "measured (RSS)", "model@paper scale"
+    );
+
+    let mut measured_points = Vec::new();
+    for pct in [10u32, 20, 30, 40, 50, 60, 70] {
+        let g = spec.percent_analog(pct, divisor, SEED + u64::from(pct), NeighborMode::InOnly);
+        let cfg = RunConfig { threads: Some(threads()), ..RunConfig::default() };
+        let out = run(
+            &g,
+            &PageRank { rounds: 5, damping: 0.85 },
+            Version { combiner: CombinerKind::Broadcast, selection_bypass: false },
+            &cfg,
+        );
+        let measured = out.footprint.total_bytes();
+        let modelled = model.rss_at_percent(spec.vertices, spec.edges, pct);
+        println!(
+            "{:>7}% {:>12} {:>14} {:>16} {:>18}",
+            pct,
+            g.num_vertices(),
+            g.num_edges(),
+            human_bytes(measured as f64),
+            human_bytes(modelled)
+        );
+        measured_points.push((f64::from(pct), measured as f64));
+        append_result(
+            "fig9.jsonl",
+            &Record {
+                figure: "fig9",
+                percent: pct,
+                divisor,
+                vertices: g.num_vertices(),
+                edges: g.num_edges(),
+                measured_bytes: measured,
+                modelled_paper_scale_bytes: modelled,
+            },
+        );
+    }
+    rule(78);
+
+    // Figure file: measured sweep (left axis implicitly scaled down by
+    // the divisor) and the paper-scale model, both linear in percent —
+    // the visual claim of Figure 9.
+    let chart = LineChart {
+        title: "Figure 9 — memory vs synthetic Twitter scale".into(),
+        x_label: "size of synthetic graph vs Twitter (%)".into(),
+        y_label: "bytes at paper scale".into(),
+        x_scale: Scale::Linear,
+        y_scale: Scale::Linear,
+        series: vec![
+            Series {
+                // Measured at 1/divisor scale; multiply back up so both
+                // series share the paper-scale axis.
+                name: format!("measured accounting x{divisor}"),
+                points: measured_points
+                    .iter()
+                    .map(|&(x, y)| (x, y * divisor as f64))
+                    .collect(),
+                color: PALETTE[0].into(),
+                dashed: false,
+            },
+            Series {
+                name: "model @ paper scale".into(),
+                points: (1..=10)
+                    .map(|i| {
+                        let pct = i * 10;
+                        (f64::from(pct), model.rss_at_percent(spec.vertices, spec.edges, pct))
+                    })
+                    .collect(),
+                color: PALETTE[1].into(),
+                dashed: true,
+            },
+        ],
+    };
+    if let Some(path) = save_svg("fig9.svg", &chart.to_svg()) {
+        println!("figure written to {}", path.display());
+    }
+
+    let deviation = validate_linear(&measured_points);
+    println!(
+        "Linearity of the measured sweep: max relative deviation from the fitted\n\
+         line = {:.2}% (the paper's linear projection is justified below ~5%).",
+        deviation * 100.0
+    );
+
+    println!();
+    println!("Projections at paper scale (calibrated RSS model):");
+    let bp = breaking_point_percent(&model, spec.vertices, spec.edges, 8.0 * GB);
+    println!(
+        "  breaking point under 8 GB : {} (paper: 70%)",
+        bp.map_or("none".to_string(), |p| format!("{p}%"))
+    );
+    let full = model.rss_bytes(spec.vertices, spec.edges);
+    println!("  100% Twitter requirement  : {} (paper: 11.01 GB)", human_bytes(full));
+    let friendster = model.rss_bytes(FRIENDSTER.vertices, FRIENDSTER.edges);
+    println!(
+        "  Friendster under 16 GB    : {} (paper: 14.45 GB) -> fits: {}",
+        human_bytes(friendster),
+        friendster < 16.0 * GB
+    );
+}

@@ -1,0 +1,83 @@
+//! Section 7.1.4's activity evolutions, visualised, plus the selection
+//! cost share Section 4 attacks.
+//!
+//! The paper picks its three applications because their active-vertex
+//! profiles differ: "constantly all active in PageRank, decreasing from
+//! all active to none in Hashmin and in SSSP it starts with one active
+//! vertex typically followed by a bell evolution". This binary prints
+//! those profiles as sparklines from real runs, and for each app the
+//! fraction of runtime spent selecting active vertices under scan vs
+//! bypass selection.
+
+use ipregel::{run, CombinerKind, RunConfig, Version, VertexProgram};
+use ipregel_apps::{Hashmin, PageRank, Sssp};
+use ipregel_bench::{rule, threads, PaperGraphs, PAGERANK_ROUNDS, SSSP_SOURCE};
+use ipregel_graph::Graph;
+
+fn profile_app<P: VertexProgram>(g: &Graph, app: &'static str, p: &P, bypass_ok: bool) {
+    let cfg = RunConfig { threads: Some(threads()), ..RunConfig::default() };
+    let scan = run(
+        g,
+        p,
+        Version { combiner: CombinerKind::Spinlock, selection_bypass: false },
+        &cfg,
+    );
+    let spark = scan.stats.activity_sparkline();
+    let shown: String = if spark.len() > 60 {
+        let head: String = spark.chars().take(57).collect();
+        format!("{head}...")
+    } else {
+        spark
+    };
+    let sel_share = |stats: &ipregel::RunStats| {
+        let total = stats.total_time.as_secs_f64();
+        if total <= 0.0 {
+            0.0
+        } else {
+            100.0 * stats.total_selection_time().as_secs_f64() / total
+        }
+    };
+    println!("  {app:<9} [{shown}]");
+    println!(
+        "  {:<9} supersteps {:>5}, peak active {:>8}, scan selection {:>4.1}% of runtime",
+        "",
+        scan.stats.num_supersteps(),
+        scan.stats.peak_active(),
+        sel_share(&scan.stats)
+    );
+    if bypass_ok {
+        let bypass = run(
+            g,
+            p,
+            Version { combiner: CombinerKind::Spinlock, selection_bypass: true },
+            &cfg,
+        );
+        println!(
+            "  {:<9} with bypass: selection {:>4.1}% of runtime ({} -> {} total)",
+            "",
+            sel_share(&bypass.stats),
+            format_args!("{:.3}s", scan.stats.total_time.as_secs_f64()),
+            format_args!("{:.3}s", bypass.stats.total_time.as_secs_f64()),
+        );
+    } else {
+        println!("  {:<9} (bypass not applicable: vertices do not halt every superstep)", "");
+    }
+}
+
+fn main() {
+    let graphs = PaperGraphs::build();
+    println!(
+        "Active-vertex profiles (Section 7.1.4) and selection cost (Section 4),\n\
+         spinlock combiner, {} threads. Sparkline: one char per superstep,\n\
+         height = active vertices relative to the run's peak.",
+        threads()
+    );
+    for (label, g, divisor, _) in graphs.each() {
+        rule(78);
+        println!("{label} graph (divisor {divisor}: |V|={}, |E|={})", g.num_vertices(), g.num_edges());
+        profile_app(g, "PageRank", &PageRank { rounds: PAGERANK_ROUNDS, damping: 0.85 }, false);
+        profile_app(g, "Hashmin", &Hashmin, true);
+        profile_app(g, "SSSP", &Sssp { source: SSSP_SOURCE }, true);
+    }
+    rule(78);
+}

@@ -1,0 +1,43 @@
+//! Table 1: graphs used in the comparison with Pregel+.
+//!
+//! Prints the paper-scale |V| and |E| of both datasets (exact, from the
+//! specs) and the measured statistics of the scaled analogs the harness
+//! actually runs on, so the fidelity of the stand-ins is visible.
+
+use ipregel_bench::{PaperGraphs, rule};
+use ipregel_graph::stats::{group_digits, GraphStats};
+
+fn main() {
+    let graphs = PaperGraphs::build();
+
+    println!("Table 1: Graphs used in the comparison with Pregel+ (paper scale)");
+    rule(72);
+    println!("{:<22} {:>14} {:>16}", "Name", "|V|", "|E|");
+    rule(72);
+    for (_, _, _, spec) in graphs.each() {
+        println!(
+            "{:<22} {:>14} {:>16}",
+            spec.name,
+            group_digits(spec.vertices),
+            group_digits(spec.edges)
+        );
+    }
+    rule(72);
+
+    println!();
+    println!("Scaled analogs used by this harness:");
+    rule(72);
+    for (label, g, divisor, spec) in graphs.each() {
+        let s = GraphStats::compute(g);
+        println!("{label} (divisor {divisor}):");
+        println!("  {s}");
+        println!(
+            "  avg out-degree paper {:.2} vs analog {:.2}; addressing: {:?} (base {})",
+            spec.avg_out_degree(),
+            s.avg_out_degree,
+            g.address_map().mode(),
+            g.address_map().base()
+        );
+    }
+    rule(72);
+}

@@ -1,0 +1,32 @@
+//! Table 2: graphs used for the further memory-footprint experiments.
+//!
+//! Prints the paper-scale sizes of Twitter (MPI) and Friendster, their
+//! average degrees, and the binary-size arithmetic of Section 7.4.2
+//! (4-byte identifiers for each vertex and out-neighbour entry).
+
+use ipregel_bench::rule;
+use ipregel_graph::generators::analogs::{FRIENDSTER, TWITTER_MPI};
+use ipregel_graph::stats::group_digits;
+use ipregel_mem::{RssModel, GB};
+
+fn main() {
+    println!("Table 2: Graphs used for further iPregel memory footprint experiments");
+    rule(72);
+    println!("{:<16} {:>14} {:>16} {:>12}", "Name", "|V|", "|E|", "binary size");
+    rule(72);
+    for spec in [TWITTER_MPI, FRIENDSTER] {
+        let binary = RssModel::graph_binary_bytes(spec.vertices, spec.edges) / GB;
+        println!(
+            "{:<16} {:>14} {:>16} {:>9.2} GB",
+            spec.name,
+            group_digits(spec.vertices),
+            group_digits(spec.edges),
+            binary
+        );
+    }
+    rule(72);
+    println!(
+        "(Section 7.4.2 computes the Twitter binary size as 8 GB with 4-byte\n\
+         vertex identifiers; the model above reproduces that arithmetic.)"
+    );
+}

@@ -1,0 +1,518 @@
+//! A minimal, dependency-free SVG chart writer.
+//!
+//! The figure binaries print paper-style tables; this module lets them
+//! also emit the figures *as figures* — line charts with optionally
+//! logarithmic axes (Figure 8's log-y runtime curves, Figure 9's linear
+//! memory line) and grouped bar charts (Figure 7's version bars) —
+//! without pulling a plotting dependency into the workspace.
+//!
+//! The output is deliberately plain SVG 1.1: axes, ticks, gridlines,
+//! polylines with circle markers, bars, and a legend.
+
+use std::fmt::Write as _;
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear mapping.
+    Linear,
+    /// Base-10 logarithmic mapping (values must be > 0).
+    Log,
+}
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points (x, y).
+    pub points: Vec<(f64, f64)>,
+    /// Stroke colour (any SVG colour string).
+    pub color: String,
+    /// Dashed stroke (used for extrapolated segments).
+    pub dashed: bool,
+}
+
+/// A line chart (Figure 8 / Figure 9 shaped).
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X-axis scale.
+    pub x_scale: Scale,
+    /// Y-axis scale.
+    pub y_scale: Scale,
+    /// The series to draw.
+    pub series: Vec<Series>,
+}
+
+const W: f64 = 640.0;
+const H: f64 = 420.0;
+const ML: f64 = 70.0; // margins
+const MR: f64 = 20.0;
+const MT: f64 = 40.0;
+const MB: f64 = 55.0;
+
+/// Default qualitative palette.
+pub const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+
+fn scale_pos(v: f64, lo: f64, hi: f64, scale: Scale) -> f64 {
+    match scale {
+        Scale::Linear => {
+            if hi > lo {
+                (v - lo) / (hi - lo)
+            } else {
+                0.5
+            }
+        }
+        Scale::Log => {
+            let (v, lo, hi) = (v.max(1e-300).log10(), lo.max(1e-300).log10(), hi.max(1e-300).log10());
+            if hi > lo {
+                (v - lo) / (hi - lo)
+            } else {
+                0.5
+            }
+        }
+    }
+}
+
+/// Human tick label: trims float noise, switches to powers for logs.
+fn tick_label(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 1e6 || a < 1e-3 {
+        format!("{v:.0e}")
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn ticks(lo: f64, hi: f64, scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Log => {
+            let mut t = Vec::new();
+            let mut p = 10f64.powf(lo.max(1e-300).log10().floor());
+            while p <= hi * 1.0001 {
+                if p >= lo * 0.9999 {
+                    t.push(p);
+                }
+                p *= 10.0;
+            }
+            if t.len() < 2 {
+                t = vec![lo, hi];
+            }
+            t
+        }
+        Scale::Linear => {
+            if hi <= lo {
+                return vec![lo];
+            }
+            let raw = (hi - lo) / 5.0;
+            let mag = 10f64.powf(raw.log10().floor());
+            let step = [1.0, 2.0, 2.5, 5.0, 10.0]
+                .iter()
+                .map(|m| m * mag)
+                .find(|&s| (hi - lo) / s <= 6.0)
+                .unwrap_or(mag * 10.0);
+            let mut t = Vec::new();
+            let mut v = (lo / step).ceil() * step;
+            while v <= hi * 1.0001 {
+                t.push(v);
+                v += step;
+            }
+            t
+        }
+    }
+}
+
+impl LineChart {
+    /// Render to an SVG document.
+    pub fn to_svg(&self) -> String {
+        let all: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        let (mut xlo, mut xhi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ylo, mut yhi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            xlo = xlo.min(x);
+            xhi = xhi.max(x);
+            ylo = ylo.min(y);
+            yhi = yhi.max(y);
+        }
+        if !xlo.is_finite() {
+            xlo = 0.0;
+            xhi = 1.0;
+            ylo = 0.0;
+            yhi = 1.0;
+        }
+        if self.y_scale == Scale::Linear {
+            ylo = ylo.min(0.0);
+        }
+        let px = |x: f64| ML + scale_pos(x, xlo, xhi, self.x_scale) * (W - ML - MR);
+        let py = |y: f64| H - MB - scale_pos(y, ylo, yhi, self.y_scale) * (H - MT - MB);
+
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = writeln!(s, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+            W / 2.0,
+            xml(&self.title)
+        );
+
+        // Gridlines + ticks.
+        for t in ticks(xlo, xhi, self.x_scale) {
+            let x = px(t);
+            let _ = writeln!(
+                s,
+                r##"<line x1="{x:.1}" y1="{MT}" x2="{x:.1}" y2="{:.1}" stroke="#eee"/>"##,
+                H - MB
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+                H - MB + 16.0,
+                tick_label(t)
+            );
+        }
+        for t in ticks(ylo, yhi, self.y_scale) {
+            let y = py(t);
+            let _ = writeln!(
+                s,
+                r##"<line x1="{ML}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#eee"/>"##,
+                W - MR
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"#,
+                ML - 6.0,
+                y + 4.0,
+                tick_label(t)
+            );
+        }
+        // Axes.
+        let _ = writeln!(
+            s,
+            r##"<line x1="{ML}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#333"/>"##,
+            H - MB,
+            W - MR,
+            H - MB
+        );
+        let _ = writeln!(s, r##"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{:.1}" stroke="#333"/>"##, H - MB);
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            (ML + W - MR) / 2.0,
+            H - 14.0,
+            xml(&self.x_label)
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            (MT + H - MB) / 2.0,
+            (MT + H - MB) / 2.0,
+            xml(&self.y_label)
+        );
+
+        // Series.
+        for series in &self.series {
+            if series.points.is_empty() {
+                continue;
+            }
+            let pts: String = series
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let dash = if series.dashed { r#" stroke-dasharray="6 4""# } else { "" };
+            let _ = writeln!(
+                s,
+                r#"<polyline points="{pts}" fill="none" stroke="{}" stroke-width="2"{dash}/>"#,
+                series.color
+            );
+            for &(x, y) in &series.points {
+                let _ = writeln!(
+                    s,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{}"/>"#,
+                    px(x),
+                    py(y),
+                    series.color
+                );
+            }
+        }
+
+        // Legend.
+        for (i, series) in self.series.iter().enumerate() {
+            let y = MT + 8.0 + i as f64 * 16.0;
+            let _ = writeln!(
+                s,
+                r#"<rect x="{:.1}" y="{:.1}" width="12" height="4" fill="{}"/>"#,
+                ML + 10.0,
+                y,
+                series.color
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
+                ML + 28.0,
+                y + 6.0,
+                xml(&series.name)
+            );
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+/// A grouped bar chart (Figure 7 shaped): one group per label, one bar
+/// per series.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Group labels along the x axis.
+    pub groups: Vec<String>,
+    /// `(series name, per-group values)`; `f64::NAN` marks a missing bar.
+    pub series: Vec<(String, Vec<f64>)>,
+    /// Logarithmic y axis (Figure 7's SSSP panel needs it).
+    pub log_y: bool,
+}
+
+impl BarChart {
+    /// Render to an SVG document.
+    pub fn to_svg(&self) -> String {
+        let scale = if self.log_y { Scale::Log } else { Scale::Linear };
+        let values: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, vs)| vs.iter().copied())
+            .filter(|v| v.is_finite())
+            .collect();
+        let mut yhi = values.iter().copied().fold(f64::MIN, f64::max);
+        let mut ylo = if self.log_y {
+            values.iter().copied().fold(f64::MAX, f64::min)
+        } else {
+            0.0
+        };
+        if !yhi.is_finite() {
+            ylo = 0.0;
+            yhi = 1.0;
+        }
+        let py = |y: f64| H - MB - scale_pos(y, ylo, yhi, scale) * (H - MT - MB);
+
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = writeln!(s, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+            W / 2.0,
+            xml(&self.title)
+        );
+        for t in ticks(ylo, yhi, scale) {
+            let y = py(t);
+            let _ = writeln!(
+                s,
+                r##"<line x1="{ML}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#eee"/>"##,
+                W - MR
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"#,
+                ML - 6.0,
+                y + 4.0,
+                tick_label(t)
+            );
+        }
+        let _ = writeln!(
+            s,
+            r##"<line x1="{ML}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#333"/>"##,
+            H - MB,
+            W - MR,
+            H - MB
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            (MT + H - MB) / 2.0,
+            (MT + H - MB) / 2.0,
+            xml(&self.y_label)
+        );
+
+        let groups = self.groups.len().max(1) as f64;
+        let group_w = (W - ML - MR) / groups;
+        let bars = self.series.len().max(1) as f64;
+        let bar_w = (group_w * 0.8) / bars;
+        for (gi, label) in self.groups.iter().enumerate() {
+            let gx = ML + gi as f64 * group_w;
+            let _ = writeln!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+                gx + group_w / 2.0,
+                H - MB + 16.0,
+                xml(label)
+            );
+            for (si, (_, vs)) in self.series.iter().enumerate() {
+                let v = vs.get(gi).copied().unwrap_or(f64::NAN);
+                if !v.is_finite() {
+                    continue;
+                }
+                let x = gx + group_w * 0.1 + si as f64 * bar_w;
+                let y = py(v);
+                let _ = writeln!(
+                    s,
+                    r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{:.1}" fill="{}"/>"#,
+                    bar_w * 0.9,
+                    (H - MB - y).max(0.0),
+                    PALETTE[si % PALETTE.len()]
+                );
+            }
+        }
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            let y = MT + 8.0 + si as f64 * 16.0;
+            let _ = writeln!(
+                s,
+                r#"<rect x="{:.1}" y="{:.1}" width="12" height="8" fill="{}"/>"#,
+                ML + 10.0,
+                y,
+                PALETTE[si % PALETTE.len()]
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
+                ML + 28.0,
+                y + 8.0,
+                xml(name)
+            );
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+/// Escape text for XML content.
+fn xml(t: &str) -> String {
+    t.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Write an SVG document under `results/`.
+pub fn save_svg(file: &str, svg: &str) -> Option<std::path::PathBuf> {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(file);
+    std::fs::write(&path, svg).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        LineChart {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            x_scale: Scale::Log,
+            y_scale: Scale::Log,
+            series: vec![Series {
+                name: "a & b".into(),
+                points: vec![(1.0, 100.0), (2.0, 50.0), (4.0, 25.0)],
+                color: PALETTE[0].into(),
+                dashed: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn line_chart_is_wellformed_svg() {
+        let svg = chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<polyline"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("a &amp; b"), "legend must be escaped");
+    }
+
+    #[test]
+    fn log_scale_positions_decades_evenly() {
+        assert!((scale_pos(10.0, 1.0, 100.0, Scale::Log) - 0.5).abs() < 1e-12);
+        assert!((scale_pos(1.0, 1.0, 100.0, Scale::Log) - 0.0).abs() < 1e-12);
+        assert!((scale_pos(100.0, 1.0, 100.0, Scale::Log) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_ticks_are_round_and_cover_range() {
+        let t = ticks(0.0, 97.0, Scale::Linear);
+        assert!(t.len() >= 3 && t.len() <= 7, "{t:?}");
+        assert!(t.windows(2).all(|w| w[1] > w[0]));
+        assert!(t[0] >= 0.0 && *t.last().unwrap() <= 97.0 * 1.001);
+    }
+
+    #[test]
+    fn log_ticks_are_powers_of_ten() {
+        let t = ticks(0.5, 2000.0, Scale::Log);
+        for v in &t {
+            let l = v.log10();
+            assert!((l - l.round()).abs() < 1e-9, "{v}");
+        }
+        assert!(t.contains(&1.0) && t.contains(&1000.0));
+    }
+
+    #[test]
+    fn dashed_series_render_dasharray() {
+        let mut c = chart();
+        c.series[0].dashed = true;
+        assert!(c.to_svg().contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn bar_chart_renders_bars_and_skips_nan() {
+        let b = BarChart {
+            title: "bars".into(),
+            y_label: "runtime".into(),
+            groups: vec!["g1".into(), "g2".into()],
+            series: vec![
+                ("mutex".into(), vec![3.0, 2.0]),
+                ("spin".into(), vec![1.5, f64::NAN]),
+            ],
+            log_y: false,
+        };
+        let svg = b.to_svg();
+        // 3 finite bars + 2 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 1 /*bg*/ + 3 + 2);
+        assert!(svg.contains("mutex"));
+    }
+
+    #[test]
+    fn empty_chart_does_not_panic() {
+        let c = LineChart {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            series: vec![],
+        };
+        assert!(c.to_svg().contains("</svg>"));
+    }
+}

@@ -1,0 +1,805 @@
+//! Command-line front end for the iPregel reproduction.
+//!
+//! ```text
+//! ipregel <command> --graph FILE [options]
+//!
+//! commands:
+//!   pagerank     fixed-iteration PageRank          (--rounds, --damping)
+//!   sssp         single-source shortest path       (--source, --weighted)
+//!   bfs          breadth-first levels              (--source)
+//!   components   connected components (Hashmin)
+//!   maxvalue     max-value propagation (Pregel's canonical example)
+//!   kcore        k-core membership                 (--k)
+//!   widest       single-source widest path         (--source)
+//!   ppr          personalised PageRank             (--source, --rounds, --damping)
+//!   diameter     pseudo-diameter by double sweep   (--source)
+//!   bipartite    two-colouring / odd-cycle check   (--source)
+//!   stats        print graph statistics and exit
+//!   validate     structural report (symmetry, loops, duplicates)
+//!   convert      rewrite in another format         (--out, --out-format)
+//!
+//! options:
+//!   --graph FILE            input path (required)
+//!   --format FMT            edgelist | dimacs | konect | binary
+//!                           (default: guessed from the extension)
+//!   --combiner C            mutex | spinlock | broadcast  (default spinlock;
+//!                           pagerank defaults to broadcast)
+//!   --engine E              ipregel (default) | naive | ooc | seq —
+//!                           naive is the FemtoGraph-style baseline, ooc
+//!                           the out-of-core engine (spills to a temp
+//!                           file, unweighted), seq the single-threaded
+//!                           oracle; combiner/bypass apply to ipregel only
+//!   --bypass                enable the selection bypass (Section 4)
+//!   --threads N             rayon threads (default: all cores)
+//!   --top K                 print the K most extreme results (default 10)
+//!   --rounds N              PageRank iterations (default 30)
+//!   --damping F             PageRank damping (default 0.85)
+//!   --source ID             SSSP/BFS source vertex (default 2, as the paper)
+//!   --weighted              SSSP uses edge weights (push combiners only)
+//!   --k N                   k-core order (default 2)
+//!   --out FILE              convert: output path
+//!   --out-format FMT        convert: edgelist | dimacs | binary
+//! ```
+//!
+//! The library entry point [`run_cli`] returns the rendered output so the
+//! whole surface is unit-testable without spawning processes.
+
+use std::fmt;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+
+use ipregel::{run, CombinerKind, RunConfig, RunOutput, Version, VertexProgram};
+use ipregel_apps::{Bfs, Hashmin, PageRank, Sssp, WeightedSssp};
+use ipregel_graph::loaders::{load_dimacs_gr, load_edge_list, load_konect, read_binary};
+use ipregel_graph::{Graph, GraphStats, NeighborMode};
+
+/// Usage text shown on argument errors.
+pub const USAGE: &str = "usage: ipregel \
+<pagerank|sssp|bfs|components|maxvalue|kcore|widest|ppr|diameter|bipartite|stats|validate|convert> \
+--graph FILE \
+[--format edgelist|dimacs|konect|binary] [--combiner mutex|spinlock|broadcast] [--bypass] \
+[--threads N] [--top K] [--rounds N] [--damping F] [--source ID] [--weighted] [--k N] \
+[--out FILE --out-format edgelist|dimacs|binary]";
+
+/// CLI failure with a human-readable message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Which engine executes the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineChoice {
+    /// The optimised framework (combiner/bypass select the version).
+    #[default]
+    IPregel,
+    /// The FemtoGraph-style naive shared-memory baseline.
+    Naive,
+    /// The out-of-core engine (edges spilled to a temp file).
+    OutOfCore,
+    /// The single-threaded differential oracle.
+    Sequential,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Subcommand name.
+    pub command: String,
+    /// Graph file path.
+    pub graph: String,
+    /// Input format (`None` = guess from extension).
+    pub format: Option<String>,
+    /// Combiner (`None` = per-command default).
+    pub combiner: Option<CombinerKind>,
+    /// Selection bypass toggle.
+    pub bypass: bool,
+    /// Thread count.
+    pub threads: Option<usize>,
+    /// Results to print.
+    pub top: usize,
+    /// PageRank iterations.
+    pub rounds: usize,
+    /// PageRank damping.
+    pub damping: f64,
+    /// SSSP/BFS source.
+    pub source: u32,
+    /// Weighted SSSP.
+    pub weighted: bool,
+    /// k-core order.
+    pub k: u32,
+    /// Convert: output path.
+    pub out: Option<String>,
+    /// Convert: output format.
+    pub out_format: Option<String>,
+    /// Executing engine.
+    pub engine: EngineChoice,
+}
+
+/// Parse raw arguments into [`Options`].
+pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
+    let mut it = args.iter();
+    let command = match it.next() {
+        Some(c) => c.clone(),
+        None => return err("missing command"),
+    };
+    if !matches!(
+        command.as_str(),
+        "pagerank" | "sssp" | "bfs" | "components" | "maxvalue" | "kcore" | "widest" | "ppr"
+            | "diameter" | "bipartite" | "stats" | "validate" | "convert"
+    ) {
+        return err(format!("unknown command {command:?}"));
+    }
+    let mut opts = Options {
+        command,
+        graph: String::new(),
+        format: None,
+        combiner: None,
+        bypass: false,
+        threads: None,
+        top: 10,
+        rounds: 30,
+        damping: 0.85,
+        source: 2,
+        weighted: false,
+        k: 2,
+        out: None,
+        out_format: None,
+        engine: EngineChoice::default(),
+    };
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().map(String::as_str).ok_or_else(|| CliError(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--graph" => opts.graph = value()?.to_string(),
+            "--format" => opts.format = Some(value()?.to_string()),
+            "--combiner" => {
+                opts.combiner = Some(match value()? {
+                    "mutex" => CombinerKind::Mutex,
+                    "spinlock" => CombinerKind::Spinlock,
+                    "broadcast" => CombinerKind::Broadcast,
+                    other => return err(format!("unknown combiner {other:?}")),
+                })
+            }
+            "--bypass" => opts.bypass = true,
+            "--threads" => {
+                opts.threads =
+                    Some(value()?.parse().map_err(|e| CliError(format!("bad --threads: {e}")))?)
+            }
+            "--top" => {
+                opts.top = value()?.parse().map_err(|e| CliError(format!("bad --top: {e}")))?
+            }
+            "--rounds" => {
+                opts.rounds = value()?.parse().map_err(|e| CliError(format!("bad --rounds: {e}")))?
+            }
+            "--damping" => {
+                opts.damping =
+                    value()?.parse().map_err(|e| CliError(format!("bad --damping: {e}")))?
+            }
+            "--source" => {
+                opts.source = value()?.parse().map_err(|e| CliError(format!("bad --source: {e}")))?
+            }
+            "--weighted" => opts.weighted = true,
+            "--k" => opts.k = value()?.parse().map_err(|e| CliError(format!("bad --k: {e}")))?,
+            "--out" => opts.out = Some(value()?.to_string()),
+            "--out-format" => opts.out_format = Some(value()?.to_string()),
+            "--engine" => {
+                opts.engine = match value()? {
+                    "ipregel" => EngineChoice::IPregel,
+                    "naive" => EngineChoice::Naive,
+                    "ooc" => EngineChoice::OutOfCore,
+                    "seq" => EngineChoice::Sequential,
+                    other => return err(format!("unknown engine {other:?}")),
+                }
+            }
+            other => return err(format!("unknown flag {other:?}")),
+        }
+    }
+    if opts.graph.is_empty() {
+        return err("--graph is required");
+    }
+    Ok(opts)
+}
+
+/// Guess the file format from the path extension.
+pub fn guess_format(path: &str) -> &'static str {
+    match Path::new(path).extension().and_then(|e| e.to_str()) {
+        Some("gr") => "dimacs",
+        Some("ipgb" | "bin") => "binary",
+        Some("konect") => "konect",
+        _ => "edgelist",
+    }
+}
+
+fn load_graph(opts: &Options) -> Result<Graph, CliError> {
+    let format = opts.format.clone().unwrap_or_else(|| guess_format(&opts.graph).to_string());
+    // The pull combiner needs in-edges; keep both unless we know better.
+    let mode = match opts.combiner {
+        Some(CombinerKind::Broadcast) | None => NeighborMode::Both,
+        _ => {
+            if opts.bypass || !matches!(opts.command.as_str(), "pagerank") {
+                NeighborMode::Both
+            } else {
+                NeighborMode::OutOnly
+            }
+        }
+    };
+    let file = File::open(&opts.graph)
+        .map_err(|e| CliError(format!("cannot open {}: {e}", opts.graph)))?;
+    let reader = BufReader::new(file);
+    let g = match format.as_str() {
+        "edgelist" => load_edge_list(reader, mode),
+        "dimacs" => load_dimacs_gr(reader, mode),
+        "konect" => load_konect(reader, mode),
+        "binary" => read_binary(reader, mode),
+        other => return err(format!("unknown format {other:?}")),
+    };
+    g.map_err(|e| CliError(format!("cannot parse {}: {e}", opts.graph)))
+}
+
+fn version_for(opts: &Options, default: CombinerKind) -> Version {
+    Version { combiner: opts.combiner.unwrap_or(default), selection_bypass: opts.bypass }
+}
+
+fn run_app<P: VertexProgram>(
+    g: &Graph,
+    p: &P,
+    version: Version,
+    opts: &Options,
+) -> RunOutput<P::Value> {
+    let cfg = RunConfig { threads: opts.threads, ..RunConfig::default() };
+    match opts.engine {
+        EngineChoice::IPregel => run(g, p, version, &cfg),
+        EngineChoice::Naive => femtograph_sim::run_naive(g, p, &cfg),
+        EngineChoice::Sequential => ipregel::run_sequential(g, p, &cfg),
+        EngineChoice::OutOfCore => {
+            let spill = std::env::temp_dir().join(format!(
+                "ipregel-cli-ooc-{}-{}.edges",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map_or(0, |d| d.as_nanos() as u64)
+            ));
+            let ooc = graphd_sim::OocGraph::from_graph(g, &spill)
+                .expect("cannot spill edges to the temp directory");
+            graphd_sim::run_ooc(&ooc, p, &cfg, &graphd_sim::DiskModel::default())
+                .expect("out-of-core run failed")
+                .output
+        }
+    }
+}
+
+fn summary<V>(out: &RunOutput<V>, version: Version) -> String {
+    format!(
+        "version: {}\nsupersteps: {}\nmessages: {}\nsuperstep time: {:.3}s\nframework bytes: {}\n",
+        version.label(),
+        out.stats.num_supersteps(),
+        out.stats.total_messages(),
+        out.stats.total_time.as_secs_f64(),
+        out.footprint.total_bytes(),
+    )
+}
+
+/// Execute the CLI and return its stdout text.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_args(args)?;
+    if opts.engine == EngineChoice::OutOfCore && (opts.weighted || opts.command == "widest") {
+        return err("the out-of-core engine stores unweighted adjacency; weighted runs need --engine ipregel");
+    }
+    let g = load_graph(&opts)?;
+    let mut text = format!(
+        "graph: {} (|V|={}, |E|={}{})\n",
+        opts.graph,
+        g.num_vertices(),
+        g.num_edges(),
+        if g.is_weighted() { ", weighted" } else { "" }
+    );
+    match opts.command.as_str() {
+        "stats" => {
+            let s = GraphStats::compute(&g);
+            text.push_str(&format!("{s}\n"));
+        }
+        "pagerank" => {
+            let version = version_for(&opts, CombinerKind::Broadcast);
+            if version.selection_bypass {
+                return err("PageRank vertices do not halt every superstep; the selection bypass is unsound for it (paper, Section 4)");
+            }
+            let p = PageRank { rounds: opts.rounds, damping: opts.damping };
+            let out = run_app(&g, &p, version, &opts);
+            text.push_str(&summary(&out, version));
+            let mut ranked: Vec<(u32, f64)> = out.iter().map(|(id, &r)| (id, r)).collect();
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+            text.push_str(&format!("top {} by rank:\n", opts.top.min(ranked.len())));
+            for (id, r) in ranked.into_iter().take(opts.top) {
+                text.push_str(&format!("  {id}\t{r:.6}\n"));
+            }
+        }
+        "sssp" => {
+            if !g.address_map().contains(opts.source) {
+                return err(format!("source vertex {} is not in the graph", opts.source));
+            }
+            let version = version_for(&opts, CombinerKind::Spinlock);
+            let out = if opts.weighted {
+                if version.combiner == CombinerKind::Broadcast {
+                    return err("weighted SSSP sends point-to-point; the broadcast combiner cannot run it");
+                }
+                run_app(&g, &WeightedSssp { source: opts.source }, version, &opts)
+            } else {
+                run_app(&g, &Sssp { source: opts.source }, version, &opts)
+            };
+            text.push_str(&summary(&out, version));
+            let reached = out.iter().filter(|(_, &d)| d != u32::MAX).count();
+            text.push_str(&format!("reached: {} of {}\n", reached, g.num_vertices()));
+            let mut far: Vec<(u32, u32)> =
+                out.iter().filter(|(_, &d)| d != u32::MAX).map(|(id, &d)| (id, d)).collect();
+            far.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
+            text.push_str(&format!("{} farthest vertices:\n", opts.top.min(far.len())));
+            for (id, d) in far.into_iter().take(opts.top) {
+                text.push_str(&format!("  {id}\t{d}\n"));
+            }
+        }
+        "bfs" => {
+            if !g.address_map().contains(opts.source) {
+                return err(format!("source vertex {} is not in the graph", opts.source));
+            }
+            let version = version_for(&opts, CombinerKind::Spinlock);
+            let out = run_app(&g, &Bfs { source: opts.source }, version, &opts);
+            text.push_str(&summary(&out, version));
+            let reached = out.iter().filter(|(_, &d)| d != u32::MAX).count();
+            let depth = out.iter().filter(|(_, &d)| d != u32::MAX).map(|(_, &d)| d).max();
+            text.push_str(&format!(
+                "reached: {} of {}; depth: {}\n",
+                reached,
+                g.num_vertices(),
+                depth.map_or("-".into(), |d| d.to_string())
+            ));
+        }
+        "ppr" => {
+            if !g.address_map().contains(opts.source) {
+                return err(format!("source vertex {} is not in the graph", opts.source));
+            }
+            let version = version_for(&opts, CombinerKind::Broadcast);
+            if version.selection_bypass {
+                return err("personalised PageRank never halts vertex-side; the bypass is unsound for it");
+            }
+            let p = ipregel_apps::PersonalizedPageRank {
+                source: opts.source,
+                damping: opts.damping,
+                rounds: opts.rounds,
+            };
+            let out = run_app(&g, &p, version, &opts);
+            text.push_str(&summary(&out, version));
+            let mut ranked: Vec<(u32, f64)> = out.iter().map(|(id, &r)| (id, r)).collect();
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+            text.push_str(&format!("top {} by personalised rank:\n", opts.top.min(ranked.len())));
+            for (id, r) in ranked.into_iter().take(opts.top) {
+                text.push_str(&format!("  {id}\t{r:.6}\n"));
+            }
+        }
+        "diameter" => {
+            if !g.address_map().contains(opts.source) {
+                return err(format!("source vertex {} is not in the graph", opts.source));
+            }
+            let version = version_for(&opts, CombinerKind::Spinlock);
+            let cfg = RunConfig { threads: opts.threads, ..RunConfig::default() };
+            match ipregel_apps::pseudo_diameter(&g, opts.source, version, &cfg) {
+                Some(est) => text.push_str(&format!(
+                    "pseudo-diameter: {} (between vertices {} and {})\n",
+                    est.pseudo_diameter, est.far_vertex, est.opposite_vertex
+                )),
+                None => text.push_str("pseudo-diameter: undefined (source reaches nothing)\n"),
+            }
+        }
+        "bipartite" => {
+            if !g.address_map().contains(opts.source) {
+                return err(format!("seed vertex {} is not in the graph", opts.source));
+            }
+            let version = version_for(&opts, CombinerKind::Spinlock);
+            let out =
+                run_app(&g, &ipregel_apps::Bipartiteness { seed: opts.source }, version, &opts);
+            text.push_str(&summary(&out, version));
+            let coloured = out.iter().filter(|(_, s)| s.color.is_some()).count();
+            let conflicts = out.iter().filter(|(_, s)| s.conflict).count();
+            text.push_str(&format!(
+                "coloured: {} of {}; odd-cycle witnesses: {}; component bipartite: {}\n",
+                coloured,
+                g.num_vertices(),
+                conflicts,
+                conflicts == 0
+            ));
+        }
+        "maxvalue" => {
+            let version = version_for(&opts, CombinerKind::Spinlock);
+            let out = run_app(&g, &ipregel_apps::MaxValue, version, &opts);
+            text.push_str(&summary(&out, version));
+            let distinct: std::collections::HashSet<u64> = out.iter().map(|(_, &v)| v).collect();
+            text.push_str(&format!("distinct converged values: {}\n", distinct.len()));
+        }
+        "kcore" => {
+            let version = version_for(&opts, CombinerKind::Spinlock);
+            let out = run_app(&g, &ipregel_apps::KCore { k: opts.k }, version, &opts);
+            text.push_str(&summary(&out, version));
+            let alive = out.iter().filter(|(_, s)| s.alive).count();
+            text.push_str(&format!("{}-core size: {} of {}\n", opts.k, alive, g.num_vertices()));
+        }
+        "widest" => {
+            if !g.address_map().contains(opts.source) {
+                return err(format!("source vertex {} is not in the graph", opts.source));
+            }
+            let version = version_for(&opts, CombinerKind::Spinlock);
+            if version.combiner == CombinerKind::Broadcast {
+                return err("widest path sends point-to-point; the broadcast combiner cannot run it");
+            }
+            let out =
+                run_app(&g, &ipregel_apps::WidestPath { source: opts.source }, version, &opts);
+            text.push_str(&summary(&out, version));
+            let reached = out.iter().filter(|(_, &w)| w > 0).count();
+            text.push_str(&format!("reached: {} of {}\n", reached, g.num_vertices()));
+        }
+        "validate" => {
+            let report = ipregel_graph::validation::validate(&g);
+            text.push_str(&format!(
+                "symmetric: {}\nself loops: {}\nduplicate edges: {}\nweakly connected: {}\n",
+                report.symmetric, report.self_loops, report.duplicate_edges, report.weakly_connected
+            ));
+        }
+        "convert" => {
+            let out_path = opts.out.clone().ok_or_else(|| CliError("convert needs --out".into()))?;
+            let out_format = opts
+                .out_format
+                .clone()
+                .unwrap_or_else(|| guess_format(&out_path).to_string());
+            let mut file = std::fs::File::create(&out_path)
+                .map_err(|e| CliError(format!("cannot create {out_path}: {e}")))?;
+            match out_format.as_str() {
+                "edgelist" => ipregel_graph::loaders::write_edge_list(&mut file, &g)
+                    .map_err(|e| CliError(format!("write failed: {e}")))?,
+                "dimacs" => ipregel_graph::loaders::write_dimacs_gr(&mut file, &g)
+                    .map_err(|e| CliError(format!("write failed: {e}")))?,
+                "binary" => {
+                    // Re-derive the raw edge list from the graph.
+                    let map = g.address_map();
+                    let mut edges = Vec::with_capacity(g.num_edges() as usize);
+                    for v in map.live_slots() {
+                        for &u in g.out_neighbors(v) {
+                            edges.push((map.id_of(v), map.id_of(u)));
+                        }
+                    }
+                    ipregel_graph::loaders::write_binary(
+                        &mut file,
+                        map.base(),
+                        map.num_vertices(),
+                        &edges,
+                        None,
+                    )
+                    .map_err(|e| CliError(format!("write failed: {e}")))?;
+                }
+                other => return err(format!("unknown output format {other:?}")),
+            }
+            text.push_str(&format!("wrote {out_path} as {out_format}\n"));
+        }
+        "components" => {
+            let version = version_for(&opts, CombinerKind::Spinlock);
+            let out = run_app(&g, &Hashmin, version, &opts);
+            text.push_str(&summary(&out, version));
+            let mut sizes: std::collections::HashMap<u32, u64> = Default::default();
+            for (_, &label) in out.iter() {
+                *sizes.entry(label).or_default() += 1;
+            }
+            let mut by_size: Vec<(u32, u64)> = sizes.into_iter().collect();
+            by_size.sort_by_key(|&(label, s)| (std::cmp::Reverse(s), label));
+            text.push_str(&format!("components: {}\n", by_size.len()));
+            text.push_str(&format!("{} largest (label\tsize):\n", opts.top.min(by_size.len())));
+            for (label, s) in by_size.into_iter().take(opts.top) {
+                text.push_str(&format!("  {label}\t{s}\n"));
+            }
+        }
+        _ => unreachable!("validated in parse_args"),
+    }
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn temp_graph(contents: &str, ext: &str) -> tempfile_lite::TempPath {
+        tempfile_lite::write(contents, ext)
+    }
+
+    /// Minimal self-contained temp-file helper (no external crate).
+    mod tempfile_lite {
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+        pub struct TempPath(pub PathBuf);
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+        pub fn write(contents: &str, ext: &str) -> TempPath {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir()
+                .join(format!("ipregel-cli-test-{}-{n}.{ext}", std::process::id()));
+            std::fs::write(&path, contents).unwrap();
+            TempPath(path)
+        }
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let o = parse_args(&args(
+            "sssp --graph g.txt --format dimacs --combiner mutex --bypass --threads 4 --top 3 --source 7 --weighted",
+        ))
+        .unwrap();
+        assert_eq!(o.command, "sssp");
+        assert_eq!(o.format.as_deref(), Some("dimacs"));
+        assert_eq!(o.combiner, Some(CombinerKind::Mutex));
+        assert!(o.bypass && o.weighted);
+        assert_eq!((o.threads, o.top, o.source), (Some(4), 3, 7));
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_flags() {
+        assert!(parse_args(&args("fly --graph g")).is_err());
+        assert!(parse_args(&args("sssp --graph g --warp 9")).is_err());
+        assert!(parse_args(&args("sssp")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn format_guessing() {
+        assert_eq!(guess_format("usa.gr"), "dimacs");
+        assert_eq!(guess_format("wiki.ipgb"), "binary");
+        assert_eq!(guess_format("data.konect"), "konect");
+        assert_eq!(guess_format("edges.txt"), "edgelist");
+    }
+
+    #[test]
+    fn end_to_end_components() {
+        let f = temp_graph("0 1\n1 0\n2 3\n3 2\n", "txt");
+        let out = run_cli(&args(&format!("components --graph {}", f.0.display()))).unwrap();
+        assert!(out.contains("components: 2"), "{out}");
+        assert!(out.contains("|V|=4"));
+    }
+
+    #[test]
+    fn end_to_end_weighted_sssp_on_dimacs() {
+        let f = temp_graph("p sp 3 3\na 1 2 5\na 2 3 5\na 1 3 100\n", "gr");
+        let out = run_cli(&args(&format!(
+            "sssp --graph {} --source 1 --weighted --bypass",
+            f.0.display()
+        )))
+        .unwrap();
+        assert!(out.contains("reached: 3 of 3"), "{out}");
+        assert!(out.contains("  3\t10"), "{out}");
+    }
+
+    #[test]
+    fn end_to_end_pagerank_top_list() {
+        let f = temp_graph("0 1\n1 0\n2 0\n", "txt");
+        let out =
+            run_cli(&args(&format!("pagerank --graph {} --rounds 5 --top 2", f.0.display())))
+                .unwrap();
+        assert!(out.contains("version: Broadcast"));
+        assert!(out.contains("top 2 by rank:"));
+    }
+
+    #[test]
+    fn pagerank_with_bypass_is_refused() {
+        let f = temp_graph("0 1\n", "txt");
+        let e = run_cli(&args(&format!("pagerank --graph {} --bypass", f.0.display())))
+            .unwrap_err();
+        assert!(e.0.contains("bypass"), "{e}");
+    }
+
+    #[test]
+    fn weighted_sssp_on_broadcast_is_refused() {
+        let f = temp_graph("0 1 5\n", "txt");
+        let e = run_cli(&args(&format!(
+            "sssp --graph {} --source 0 --weighted --combiner broadcast",
+            f.0.display()
+        )))
+        .unwrap_err();
+        assert!(e.0.contains("broadcast"), "{e}");
+    }
+
+    #[test]
+    fn missing_source_is_reported() {
+        let f = temp_graph("0 1\n", "txt");
+        let e = run_cli(&args(&format!("sssp --graph {} --source 99", f.0.display())))
+            .unwrap_err();
+        assert!(e.0.contains("99"));
+    }
+
+    #[test]
+    fn stats_command_prints_counts() {
+        let f = temp_graph("0 1\n1 2\n", "txt");
+        let out = run_cli(&args(&format!("stats --graph {}", f.0.display()))).unwrap();
+        assert!(out.contains("|V| ="), "{out}");
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let e = run_cli(&args("stats --graph /nonexistent/x.txt")).unwrap_err();
+        assert!(e.0.contains("cannot open"));
+    }
+
+    #[test]
+    fn end_to_end_kcore() {
+        // Triangle + tail: 2-core is the triangle.
+        let f = temp_graph("0 1
+1 0
+1 2
+2 1
+2 0
+0 2
+2 3
+3 2
+", "txt");
+        let out = run_cli(&args(&format!("kcore --graph {} --k 2", f.0.display()))).unwrap();
+        assert!(out.contains("2-core size: 3 of 4"), "{out}");
+    }
+
+    #[test]
+    fn end_to_end_maxvalue() {
+        let f = temp_graph("0 1
+1 0
+", "txt");
+        let out = run_cli(&args(&format!("maxvalue --graph {}", f.0.display()))).unwrap();
+        assert!(out.contains("distinct converged values: 1"), "{out}");
+    }
+
+    #[test]
+    fn end_to_end_widest_path() {
+        let f = temp_graph("0 1 5
+1 3 20
+0 2 8
+2 3 9
+", "txt");
+        let out = run_cli(&args(&format!("widest --graph {} --source 0", f.0.display()))).unwrap();
+        assert!(out.contains("reached: 4 of 4"), "{out}");
+    }
+
+    #[test]
+    fn end_to_end_validate() {
+        let f = temp_graph("0 1
+1 0
+2 2
+", "txt");
+        let out = run_cli(&args(&format!("validate --graph {}", f.0.display()))).unwrap();
+        assert!(out.contains("symmetric: true"), "{out}");
+        assert!(out.contains("self loops: 1"), "{out}");
+    }
+
+    #[test]
+    fn end_to_end_convert_to_dimacs_and_back() {
+        let f = temp_graph("0 1 7
+1 2 9
+", "txt");
+        let out_path = std::env::temp_dir().join(format!("ipregel-convert-{}.gr", std::process::id()));
+        let out = run_cli(&args(&format!(
+            "convert --graph {} --out {}",
+            f.0.display(),
+            out_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("as dimacs"), "{out}");
+        let round = run_cli(&args(&format!("stats --graph {}", out_path.display()))).unwrap();
+        assert!(round.contains("|E| =              2"), "{round}");
+        let _ = std::fs::remove_file(out_path);
+    }
+
+    #[test]
+    fn engines_agree_through_the_cli() {
+        let f = temp_graph("0 1
+1 2
+2 0
+3 0
+", "txt");
+        let mut outputs = Vec::new();
+        for engine in ["ipregel", "naive", "ooc", "seq"] {
+            let out = run_cli(&args(&format!(
+                "sssp --graph {} --source 0 --engine {engine}",
+                f.0.display()
+            )))
+            .unwrap();
+            // Strip the timing line, which differs per engine.
+            let stable: Vec<&str> = out
+                .lines()
+                .filter(|l| l.starts_with("reached") || l.starts_with("  "))
+                .collect();
+            outputs.push(stable.join("
+"));
+        }
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]), "{outputs:?}");
+    }
+
+    #[test]
+    fn ooc_engine_refuses_weighted_runs() {
+        let f = temp_graph("0 1 5
+", "txt");
+        let e = run_cli(&args(&format!(
+            "sssp --graph {} --source 0 --weighted --engine ooc",
+            f.0.display()
+        )))
+        .unwrap_err();
+        assert!(e.0.contains("out-of-core"), "{e}");
+    }
+
+    #[test]
+    fn unknown_engine_is_rejected() {
+        assert!(parse_args(&args("sssp --graph g --engine warp")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_diameter() {
+        let f = temp_graph("0 1
+1 0
+1 2
+2 1
+2 3
+3 2
+", "txt");
+        let out =
+            run_cli(&args(&format!("diameter --graph {} --source 1", f.0.display()))).unwrap();
+        assert!(out.contains("pseudo-diameter: 3"), "{out}");
+    }
+
+    #[test]
+    fn end_to_end_bipartite() {
+        let odd = temp_graph("0 1
+1 0
+1 2
+2 1
+2 0
+0 2
+", "txt");
+        let out = run_cli(&args(&format!("bipartite --graph {} --source 0", odd.0.display())))
+            .unwrap();
+        assert!(out.contains("component bipartite: false"), "{out}");
+    }
+
+    #[test]
+    fn end_to_end_ppr() {
+        let f = temp_graph("0 1
+1 0
+1 2
+2 1
+", "txt");
+        let out = run_cli(&args(&format!(
+            "ppr --graph {} --source 0 --rounds 10 --top 1",
+            f.0.display()
+        )))
+        .unwrap();
+        assert!(out.contains("top 1 by personalised rank:"), "{out}");
+        assert!(out.lines().last().unwrap().starts_with("  0	"), "source ranks first: {out}");
+    }
+
+    #[test]
+    fn convert_without_out_flag_errors() {
+        let f = temp_graph("0 1
+", "txt");
+        let e = run_cli(&args(&format!("convert --graph {}", f.0.display()))).unwrap_err();
+        assert!(e.0.contains("--out"), "{e}");
+    }
+}

@@ -1,0 +1,19 @@
+//! `ipregel` — run vertex-centric applications from the command line.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ipregel_cli::run_cli(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", ipregel_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

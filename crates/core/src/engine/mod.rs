@@ -1,0 +1,114 @@
+//! The superstep engines: shared configuration, results, and the two
+//! engine shapes (push-combining and pull-combining).
+//!
+//! An engine owns the BSP loop of Figure 1: select active vertices, run
+//! `compute` on them in parallel (rayon stands in for the paper's
+//! OpenMP), deliver messages, synchronise, repeat until no vertex is
+//! active and no message is in flight.
+
+pub mod pull;
+pub mod push;
+pub mod seq;
+
+use ipregel_graph::{AddressMap, VertexId};
+
+use crate::metrics::{FootprintReport, RunStats};
+
+/// Knobs common to every engine version.
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Enable the selection bypass of Section 4. Only sound for programs
+    /// whose vertices vote to halt every superstep (Hashmin, SSSP — not
+    /// PageRank); the engine trusts the caller, exactly as iPregel trusts
+    /// the user's compile flag.
+    pub selection_bypass: bool,
+    /// Size of the rayon pool; `None` uses the global default. The paper
+    /// runs with 2 OpenMP threads on its 2-core EC2 instances.
+    pub threads: Option<usize>,
+    /// Safety cap on supersteps; `None` runs to quiescence.
+    pub max_supersteps: Option<usize>,
+    /// Minimum vertices per rayon task (load-balancing grain). `None`
+    /// lets rayon split adaptively. The paper's conclusion lists
+    /// load-balancing strategies as future work; this knob plus the
+    /// `bench_scaling` suite explores it.
+    pub grain: Option<usize>,
+}
+
+/// The result of a run: final vertex values plus measurements.
+#[derive(Debug, Clone)]
+pub struct RunOutput<V> {
+    /// Final value of every slot (desolate slots hold their initial value).
+    pub values: Vec<V>,
+    /// The graph's addressing, for id-keyed access.
+    map: AddressMap,
+    /// Per-superstep measurements.
+    pub stats: RunStats,
+    /// Exact byte accounting of the engine's allocations.
+    pub footprint: FootprintReport,
+}
+
+impl<V> RunOutput<V> {
+    /// Assemble a run result. Public so alternative engines (the
+    /// sequential oracle, the naive `femtograph-sim` baseline, external
+    /// experiments) can return the same type the built-in engines do.
+    pub fn new(values: Vec<V>, map: AddressMap, stats: RunStats, footprint: FootprintReport) -> Self {
+        RunOutput { values, map, stats, footprint }
+    }
+
+    /// Final value of the vertex with external identifier `id`.
+    pub fn value_of(&self, id: VertexId) -> &V {
+        &self.values[self.map.index_of(id) as usize]
+    }
+
+    /// Iterate `(external id, value)` over live vertices in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &V)> + '_ {
+        self.map.live_slots().map(move |s| (self.map.id_of(s), &self.values[s as usize]))
+    }
+
+    /// Number of (live) vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.map.num_vertices() as usize
+    }
+}
+
+/// Run `f` on a dedicated pool of `threads` threads, or inline on the
+/// global pool.
+pub(crate) fn in_pool<R: Send>(threads: Option<usize>, f: impl FnOnce() -> R + Send) -> R {
+    match threads {
+        None => f(),
+        Some(t) => rayon::ThreadPoolBuilder::new()
+            .num_threads(t.max(1))
+            .build()
+            .expect("failed to build rayon pool")
+            .install(f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn run_output_accessors() {
+        let map = AddressMap::desolate(1, 3);
+        let out = RunOutput::new(
+            vec![0u32, 10, 20, 30],
+            map,
+            RunStats::default(),
+            FootprintReport::default(),
+        );
+        assert_eq!(*out.value_of(1), 10);
+        assert_eq!(*out.value_of(3), 30);
+        let pairs: Vec<_> = out.iter().map(|(id, &v)| (id, v)).collect();
+        assert_eq!(pairs, vec![(1, 10), (2, 20), (3, 30)]);
+        assert_eq!(out.num_vertices(), 3);
+    }
+
+    #[test]
+    fn in_pool_respects_thread_count() {
+        let threads = in_pool(Some(3), rayon::current_num_threads);
+        assert_eq!(threads, 3);
+        let _ = in_pool(None, || Duration::ZERO);
+    }
+}

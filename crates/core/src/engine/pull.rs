@@ -1,0 +1,305 @@
+//! The pull-combining ("broadcast") engine (Section 6.2).
+//!
+//! A mirrored design for applications whose only communication is
+//! neighbour broadcast: a sender buffers its single broadcast value in an
+//! *outbox*; at the next superstep each vertex iterates its in-neighbours,
+//! fetches any buffered broadcasts, and combines them into a local inbox
+//! variable. Inter-vertex interaction is read-only, writes stay
+//! intra-vertex — **no locks, no data races by construction**, and the
+//! data-race-protection footprint is zero.
+//!
+//! The costs the paper calls out: every vertex visits all of its
+//! in-neighbours each superstep (so a low active ratio wastes fetches),
+//! and cost scales with in-degree. Both effects are visible in the
+//! Figure 7 reproduction.
+//!
+//! Outboxes are double-buffered like push mailboxes. With the selection
+//! bypass, a broadcasting vertex enqueues all its out-neighbours, so only
+//! potential receivers gather next superstep.
+
+use std::time::{Duration, Instant};
+
+use ipregel_graph::csr::Weight;
+use ipregel_graph::{Graph, VertexId, VertexIndex};
+use rayon::prelude::*;
+
+use crate::engine::{in_pool, RunConfig, RunOutput};
+use crate::metrics::{FootprintReport, RunStats, SuperstepStats};
+use crate::program::{Context, MasterDecision, VertexProgram};
+use crate::selection::{EpochTags, Worklist};
+use crate::sync_cell::SharedSlice;
+
+/// Run `program` on `graph` with the pull-based combiner.
+///
+/// # Panics
+/// * if the graph was built without in-adjacency (the gather needs it);
+/// * if the selection bypass is enabled on a graph without out-adjacency
+///   (the sender must know its out-neighbours to enqueue them — this is
+///   exactly the extra memory the paper observed for "broadcast with
+///   selection bypass" in Section 7.4.1);
+/// * if `compute` calls `send` — the pull design supports broadcasts only.
+pub fn run_pull<P>(graph: &Graph, program: &P, config: &RunConfig) -> RunOutput<P::Value>
+where
+    P: VertexProgram,
+{
+    assert!(
+        graph.has_in_edges(),
+        "the pull engine gathers from in-neighbours; build the graph with NeighborMode::InOnly or Both"
+    );
+    if config.selection_bypass {
+        assert!(
+            graph.has_out_edges(),
+            "pull + selection bypass needs out-adjacency too (NeighborMode::Both): \
+             senders enqueue their out-neighbours"
+        );
+    }
+    in_pool(config.threads, || run_pull_inner(graph, program, config))
+}
+
+fn run_pull_inner<P>(graph: &Graph, program: &P, config: &RunConfig) -> RunOutput<P::Value>
+where
+    P: VertexProgram,
+{
+    let map = *graph.address_map();
+    let slots = graph.num_slots();
+
+    let mut values: Vec<P::Value> =
+        (0..slots as u32).map(|s| program.initial_value(map.id_of(s))).collect();
+    let mut halted: Vec<bool> = vec![false; slots];
+    // Double-buffered outboxes: read broadcasts of superstep s-1, write
+    // broadcasts of superstep s.
+    let mut outbox_read: Vec<Option<P::Message>> = vec![None; slots];
+    let mut outbox_write: Vec<Option<P::Message>> = vec![None; slots];
+    // Who wrote each buffer, so clearing is O(writers), not O(V).
+    let mut writers_read = Worklist::new(slots);
+    let mut writers_write = Worklist::new(slots);
+
+    let bypass = config.selection_bypass.then(|| (Worklist::new(slots), EpochTags::new(slots)));
+
+    let footprint = FootprintReport {
+        graph_bytes: graph.bytes(),
+        values_bytes: slots * std::mem::size_of::<P::Value>(),
+        mailbox_bytes: 2 * slots * std::mem::size_of::<Option<P::Message>>()
+            + writers_read.bytes()
+            + writers_write.bytes(),
+        lock_bytes: 0, // the race-free design: no data-race protection at all
+        flags_bytes: slots * std::mem::size_of::<bool>(),
+        worklist_bytes: bypass.as_ref().map_or(0, |(wl, t)| wl.bytes() + t.bytes()),
+    };
+
+    let mut stats = RunStats::default();
+    let mut active: Vec<VertexIndex> = map.live_slots().collect();
+    let mut superstep = 0usize;
+    let mut selection_duration = Duration::ZERO;
+
+    loop {
+        let t0 = Instant::now();
+        let epoch = superstep as u32 + 1;
+        let (sent, not_halted, ran): (u64, u64, u64) = {
+            let values_view = SharedSlice::new(&mut values);
+            let halted_view = SharedSlice::new(&mut halted);
+            let read_view = SharedSlice::new(&mut outbox_read);
+            let write_view = SharedSlice::new(&mut outbox_write);
+            let wl_tags = bypass.as_ref().map(|(wl, tags)| (wl, tags));
+            let writers_ref = &writers_write;
+            let gather = superstep > 0;
+            let grain = config.grain.unwrap_or(1).max(1);
+            active
+                .par_iter()
+                .with_min_len(grain)
+                .map(|&v| {
+                    // Gather: combine in-neighbour broadcasts locally —
+                    // the only inter-vertex interaction, and it is a read.
+                    let mut inbox: Option<P::Message> = None;
+                    if gather {
+                        for &u in graph.in_neighbors(v) {
+                            // SAFETY: read buffer was written last
+                            // superstep; no writers exist this phase.
+                            if let Some(m) = unsafe { read_view.get(u as usize) } {
+                                match inbox.as_mut() {
+                                    Some(old) => P::combine(old, *m),
+                                    None => inbox = Some(*m),
+                                }
+                            }
+                        }
+                    }
+                    // SAFETY: distinct slots (scan indices distinct; the
+                    // bypass worklist dedups).
+                    let was_halted = unsafe { *halted_view.get(v as usize) };
+                    if was_halted && inbox.is_none() {
+                        // Unfruitful check — the cost §6.2 factor (1)
+                        // describes. The vertex does not run.
+                        return (0u64, 0u64, 0u64);
+                    }
+                    let mut ctx = PullCtx::<P> {
+                        superstep,
+                        graph,
+                        v,
+                        inbox,
+                        outbox: &write_view,
+                        writers: writers_ref,
+                        wrote: false,
+                        bypass: wl_tags,
+                        epoch,
+                        sent: 0,
+                        halt_vote: false,
+                    };
+                    let value = unsafe { values_view.get_mut(v as usize) };
+                    program.compute(value, &mut ctx);
+                    let halt = ctx.halt_vote;
+                    let sent = ctx.sent;
+                    unsafe { *halted_view.get_mut(v as usize) = halt };
+                    (sent, u64::from(!halt), 1u64)
+                })
+                .reduce(|| (0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2))
+        };
+
+        stats.push(SuperstepStats {
+            superstep,
+            // Executed vertices, not checked ones: the scan's unfruitful
+            // checks are time, not activity.
+            active: ran,
+            messages_sent: sent,
+            duration: t0.elapsed() + selection_duration,
+            selection_duration,
+        });
+
+        // Recycle the read buffer: clear only slots its writers touched,
+        // then swap read/write roles.
+        {
+            let read_view = SharedSlice::new(&mut outbox_read);
+            let writers = writers_read.drain_to_vec();
+            writers.par_iter().for_each(|&v| {
+                // SAFETY: writer lists are duplicate-free per buffer cycle.
+                unsafe { *read_view.get_mut(v as usize) = None };
+            });
+        }
+        writers_read.clear();
+        std::mem::swap(&mut outbox_read, &mut outbox_write);
+        // The writer lists must track their buffers through the swap.
+        std::mem::swap(&mut writers_read, &mut writers_write);
+
+        if program.master_compute(superstep, &values) == MasterDecision::Halt {
+            break;
+        }
+        superstep += 1;
+        if let Some(cap) = config.max_supersteps {
+            if superstep >= cap {
+                break;
+            }
+        }
+
+        let sel_t0 = Instant::now();
+        active = match &bypass {
+            Some((wl, _)) => {
+                // Dense/sparse switch (see the push engine): when the
+                // enqueued set is large, checking everyone in slot order
+                // beats sorting a huge randomly-ordered list. The gather
+                // re-derives each vertex's inbox either way.
+                let n_active = wl.len();
+                if n_active * 8 >= map.num_vertices() as usize {
+                    wl.clear();
+                    map.live_slots().collect()
+                } else {
+                    let mut drained = wl.drain_to_vec();
+                    wl.clear();
+                    // Restore scan-order locality (see push engine).
+                    drained.par_sort_unstable();
+                    drained
+                }
+            }
+            None => {
+                // No broadcasts pending and every vertex halted → done.
+                if sent == 0 && not_halted == 0 {
+                    Vec::new()
+                } else {
+                    // All vertices are *checked* every superstep — the
+                    // pull engine's structural cost.
+                    map.live_slots().collect()
+                }
+            }
+        };
+        selection_duration = sel_t0.elapsed();
+        if active.is_empty() {
+            break;
+        }
+    }
+
+    RunOutput::new(values, map, stats, footprint)
+}
+
+/// Per-vertex-execution context for the pull engine.
+struct PullCtx<'a, P: VertexProgram> {
+    superstep: usize,
+    graph: &'a Graph,
+    v: VertexIndex,
+    inbox: Option<P::Message>,
+    outbox: &'a SharedSlice<'a, Option<P::Message>>,
+    writers: &'a Worklist,
+    wrote: bool,
+    bypass: Option<(&'a Worklist, &'a EpochTags)>,
+    epoch: u32,
+    sent: u64,
+    halt_vote: bool,
+}
+
+impl<P: VertexProgram> Context for PullCtx<'_, P> {
+    type Message = P::Message;
+
+    fn superstep(&self) -> usize {
+        self.superstep
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn id(&self) -> VertexId {
+        self.graph.id_of(self.v)
+    }
+
+    fn out_degree(&self) -> u32 {
+        self.graph.out_degree(self.v)
+    }
+
+    fn next_message(&mut self) -> Option<P::Message> {
+        self.inbox.take()
+    }
+
+    fn send(&mut self, to: VertexId, _msg: P::Message) {
+        panic!(
+            "pull-based combiner supports neighbour broadcasts only (Section 6.2); \
+             point-to-point send to {to} requires a push version"
+        );
+    }
+
+    fn broadcast(&mut self, msg: P::Message) {
+        // SAFETY: slot `v` belongs to this vertex; vertices run at most
+        // once per superstep, so the write is exclusive.
+        let slot = unsafe { self.outbox.get_mut(self.v as usize) };
+        match slot.as_mut() {
+            Some(old) => P::combine(old, msg),
+            None => *slot = Some(msg),
+        }
+        if !self.wrote {
+            self.writers.push(self.v);
+            self.wrote = true;
+        }
+        self.sent += u64::from(self.graph.out_degree(self.v));
+        if let Some((wl, tags)) = self.bypass {
+            for &n in self.graph.out_neighbors(self.v) {
+                if tags.claim(n, self.epoch) {
+                    wl.push(n);
+                }
+            }
+        }
+    }
+
+    fn vote_to_halt(&mut self) {
+        self.halt_vote = true;
+    }
+
+    fn for_each_out_edge(&mut self, _f: &mut dyn FnMut(VertexId, Weight)) {
+        panic!("for_each_out_edge is a push-engine feature; the pull combiner is broadcast-only");
+    }
+}

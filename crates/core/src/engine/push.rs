@@ -1,0 +1,272 @@
+//! The push-combining engine (Section 6.1).
+//!
+//! Senders deliver messages straight into the recipient's single-message
+//! mailbox, combining on collision under the mailbox's synchronisation
+//! (mutex, spinlock, or lock-free CAS). Mailboxes are double-buffered:
+//! superstep `s` reads from the *current* array while sends land in the
+//! *next* one, swapped at the barrier.
+//!
+//! Selection is either the conventional full scan (check every vertex's
+//! active flag and inbox) or the Section 4 bypass, where the sender
+//! enqueues its recipient into the next worklist at send time and the
+//! scan disappears.
+
+use std::time::{Duration, Instant};
+
+use ipregel_graph::csr::Weight;
+use ipregel_graph::{Graph, VertexId, VertexIndex};
+use rayon::prelude::*;
+
+use crate::engine::{in_pool, RunConfig, RunOutput};
+use crate::mailbox::Mailbox;
+use crate::metrics::{FootprintReport, RunStats, SuperstepStats};
+use crate::program::{Context, MasterDecision, VertexProgram};
+use crate::selection::Worklist;
+use crate::sync_cell::SharedSlice;
+
+/// Run `program` on `graph` with mailbox flavour `MB`.
+///
+/// # Panics
+/// If the graph was built without out-edges (push engines route every
+/// send through the out-CSR), or if `compute` sends to an identifier
+/// outside the graph.
+pub fn run_push<P, MB>(graph: &Graph, program: &P, config: &RunConfig) -> RunOutput<P::Value>
+where
+    P: VertexProgram,
+    MB: Mailbox<P::Message>,
+{
+    assert!(
+        graph.has_out_edges(),
+        "push engines need out-adjacency; build the graph with NeighborMode::OutOnly or Both"
+    );
+    in_pool(config.threads, || run_push_inner::<P, MB>(graph, program, config))
+}
+
+fn run_push_inner<P, MB>(graph: &Graph, program: &P, config: &RunConfig) -> RunOutput<P::Value>
+where
+    P: VertexProgram,
+    MB: Mailbox<P::Message>,
+{
+    let map = *graph.address_map();
+    let slots = graph.num_slots();
+
+    let mut values: Vec<P::Value> =
+        (0..slots as u32).map(|s| program.initial_value(map.id_of(s))).collect();
+    let mut halted: Vec<bool> = vec![false; slots];
+    let mut cur: Vec<MB> = (0..slots).map(|_| MB::empty()).collect();
+    let mut next: Vec<MB> = (0..slots).map(|_| MB::empty()).collect();
+
+    // The bypass needs no per-vertex tags here: the mailbox's own
+    // empty→occupied transition (observed under its lock) is the
+    // exactly-once enqueue signal — Section 4's sender "knows that the
+    // recipient vertex will have to be run".
+    let bypass = config.selection_bypass.then(|| Worklist::new(slots));
+
+    let footprint = FootprintReport {
+        graph_bytes: graph.bytes(),
+        values_bytes: slots * std::mem::size_of::<P::Value>(),
+        mailbox_bytes: 2 * slots * (std::mem::size_of::<MB>() - MB::lock_bytes()),
+        lock_bytes: 2 * slots * MB::lock_bytes(),
+        flags_bytes: slots * std::mem::size_of::<bool>(),
+        worklist_bytes: bypass.as_ref().map_or(0, Worklist::bytes),
+    };
+
+    let mut stats = RunStats::default();
+    let mut active: Vec<VertexIndex> = map.live_slots().collect();
+    let mut superstep = 0usize;
+    // Selection for superstep 0 is the trivial all-vertices list.
+    let mut selection_duration = Duration::ZERO;
+
+    loop {
+        let t0 = Instant::now();
+        let sent: u64 = {
+            let values_view = SharedSlice::new(&mut values);
+            let halted_view = SharedSlice::new(&mut halted);
+            let next_ref: &[MB] = &next;
+            let cur_ref: &[MB] = &cur;
+            let wl = bypass.as_ref();
+            let grain = config.grain.unwrap_or(1).max(1);
+            active
+                .par_iter()
+                .with_min_len(grain)
+                .map(|&v| {
+                    let inbox = cur_ref[v as usize].take();
+                    let mut ctx = PushCtx::<P, MB> {
+                        superstep,
+                        graph,
+                        v,
+                        inbox,
+                        next: next_ref,
+                        bypass: wl,
+                        sent: 0,
+                        halt_vote: false,
+                    };
+                    // SAFETY: the active list holds distinct slots (scan
+                    // filters distinct indices; the bypass worklist dedups
+                    // via epoch tags), so access is disjoint.
+                    let value = unsafe { values_view.get_mut(v as usize) };
+                    program.compute(value, &mut ctx);
+                    unsafe { *halted_view.get_mut(v as usize) = ctx.halt_vote };
+                    ctx.sent
+                })
+                .sum()
+        };
+
+        stats.push(SuperstepStats {
+            superstep,
+            active: active.len() as u64,
+            messages_sent: sent,
+            duration: t0.elapsed() + selection_duration,
+            selection_duration,
+        });
+
+        // Deliveries for superstep s+1 are in `next`; make them current.
+        std::mem::swap(&mut cur, &mut next);
+
+        if program.master_compute(superstep, &values) == MasterDecision::Halt {
+            break;
+        }
+        superstep += 1;
+        if let Some(cap) = config.max_supersteps {
+            if superstep >= cap {
+                break;
+            }
+        }
+
+        let sel_t0 = Instant::now();
+        active = match &bypass {
+            Some(wl) => {
+                // The bypass invariant (Section 4): every vertex halts each
+                // superstep, so next active ≡ message recipients ≡ worklist.
+                //
+                // Dense/sparse switch (an extension in the spirit of
+                // Ligra): when most vertices are active anyway, rebuilding
+                // the ordered list from the occupancy flags is cheaper
+                // than sorting the randomly-ordered worklist; when few
+                // are, the drained list avoids the O(|V|) scan entirely.
+                let n_active = wl.len();
+                if n_active * 8 >= map.num_vertices() as usize {
+                    wl.clear();
+                    let cur_ref: &[MB] = &cur;
+                    (0..slots as u32)
+                        .into_par_iter()
+                        .filter(|&v| cur_ref[v as usize].has_message())
+                        .collect()
+                } else {
+                    let mut drained = wl.drain_to_vec();
+                    wl.clear();
+                    // Enqueue order is a race artefact; sorting restores
+                    // the scan's sequential memory-access pattern (and
+                    // deterministic scheduling) at O(active log active).
+                    drained.par_sort_unstable();
+                    drained
+                }
+            }
+            None => {
+                let halted_ref: &[bool] = &halted;
+                let cur_ref: &[MB] = &cur;
+                (0..slots as u32)
+                    .into_par_iter()
+                    .filter(|&v| {
+                        map.is_live_slot(v)
+                            && (!halted_ref[v as usize] || cur_ref[v as usize].has_message())
+                    })
+                    .collect()
+            }
+        };
+        selection_duration = sel_t0.elapsed();
+        if active.is_empty() {
+            break;
+        }
+    }
+
+    RunOutput::new(values, map, stats, footprint)
+}
+
+/// Per-vertex-execution context for the push engine.
+struct PushCtx<'a, P: VertexProgram, MB: Mailbox<P::Message>> {
+    superstep: usize,
+    graph: &'a Graph,
+    v: VertexIndex,
+    inbox: Option<P::Message>,
+    next: &'a [MB],
+    bypass: Option<&'a Worklist>,
+    sent: u64,
+    halt_vote: bool,
+}
+
+impl<P: VertexProgram, MB: Mailbox<P::Message>> PushCtx<'_, P, MB> {
+    #[inline]
+    fn deliver_to_slot(&mut self, slot: VertexIndex, msg: P::Message) {
+        let first = self.next[slot as usize].deliver(msg, P::combine);
+        if first {
+            if let Some(wl) = self.bypass {
+                wl.push(slot);
+            }
+        }
+        self.sent += 1;
+    }
+}
+
+impl<P: VertexProgram, MB: Mailbox<P::Message>> Context for PushCtx<'_, P, MB> {
+    type Message = P::Message;
+
+    fn superstep(&self) -> usize {
+        self.superstep
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn id(&self) -> VertexId {
+        self.graph.id_of(self.v)
+    }
+
+    fn out_degree(&self) -> u32 {
+        self.graph.out_degree(self.v)
+    }
+
+    fn next_message(&mut self) -> Option<P::Message> {
+        self.inbox.take()
+    }
+
+    fn send(&mut self, to: VertexId, msg: P::Message) {
+        assert!(
+            self.graph.address_map().contains(to),
+            "send to unknown vertex id {to} (graph holds ids {}..{})",
+            self.graph.address_map().base(),
+            u64::from(self.graph.address_map().base()) + self.graph.num_vertices() as u64,
+        );
+        self.deliver_to_slot(self.graph.index_of(to), msg);
+    }
+
+    fn broadcast(&mut self, msg: P::Message) {
+        // `graph` outlives `self`, so the neighbour slice can be copied
+        // out before the mutable sends.
+        let neighbors: &[VertexIndex] = self.graph.out_neighbors(self.v);
+        for &n in neighbors {
+            self.deliver_to_slot(n, msg);
+        }
+    }
+
+    fn vote_to_halt(&mut self) {
+        self.halt_vote = true;
+    }
+
+    fn for_each_out_edge(&mut self, f: &mut dyn FnMut(VertexId, Weight)) {
+        let neighbors = self.graph.out_neighbors(self.v);
+        match self.graph.out_weights(self.v) {
+            Some(ws) => {
+                for (&n, &w) in neighbors.iter().zip(ws) {
+                    f(self.graph.id_of(n), w);
+                }
+            }
+            None => {
+                for &n in neighbors {
+                    f(self.graph.id_of(n), 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! A deliberately simple single-threaded reference engine.
+//!
+//! Not one of the paper's versions: this engine exists as a *differential
+//! oracle*. It implements BSP semantics with the most obvious possible
+//! data structures (two `Vec<Option<M>>` buffers, a linear scan, no
+//! locks, no worklists), so its behaviour is easy to audit by eye. The
+//! test suites run every optimised version against it on randomised
+//! inputs; any divergence convicts the optimisation, not the program.
+//!
+//! It is also the only engine with a guaranteed deterministic message
+//! arrival order (ascending sender slot), which makes it useful for
+//! debugging user programs whose combine is accidentally order-sensitive.
+
+use std::time::Instant;
+
+use ipregel_graph::csr::Weight;
+use ipregel_graph::{Graph, VertexId, VertexIndex};
+
+use crate::engine::{RunConfig, RunOutput};
+use crate::metrics::{FootprintReport, RunStats, SuperstepStats};
+use crate::program::{Context, MasterDecision, VertexProgram};
+
+/// Run `program` on `graph` single-threaded with scan selection.
+///
+/// `config.threads` and `config.selection_bypass` are ignored (this
+/// engine is the plain baseline); `config.max_supersteps` is honoured.
+pub fn run_sequential<P: VertexProgram>(
+    graph: &Graph,
+    program: &P,
+    config: &RunConfig,
+) -> RunOutput<P::Value> {
+    assert!(graph.has_out_edges(), "the sequential engine routes sends through out-adjacency");
+    let map = *graph.address_map();
+    let slots = graph.num_slots();
+
+    let mut values: Vec<P::Value> =
+        (0..slots as u32).map(|s| program.initial_value(map.id_of(s))).collect();
+    let mut halted = vec![false; slots];
+    let mut cur: Vec<Option<P::Message>> = vec![None; slots];
+    let mut next: Vec<Option<P::Message>> = vec![None; slots];
+
+    let footprint = FootprintReport {
+        graph_bytes: graph.bytes(),
+        values_bytes: slots * std::mem::size_of::<P::Value>(),
+        mailbox_bytes: 2 * slots * std::mem::size_of::<Option<P::Message>>(),
+        lock_bytes: 0,
+        flags_bytes: slots,
+        worklist_bytes: 0,
+    };
+
+    let mut stats = RunStats::default();
+    let mut superstep = 0usize;
+    loop {
+        let t0 = Instant::now();
+        let mut sent = 0u64;
+        let mut active = 0u64;
+        for v in map.live_slots() {
+            let inbox = cur[v as usize].take();
+            if halted[v as usize] && inbox.is_none() {
+                continue;
+            }
+            active += 1;
+            let mut ctx = SeqCtx::<P> {
+                superstep,
+                graph,
+                v,
+                inbox,
+                next: &mut next,
+                sent: 0,
+                halt_vote: false,
+            };
+            // `values[v]` and the context borrow disjoint state.
+            let mut value = values[v as usize].clone();
+            program.compute(&mut value, &mut ctx);
+            sent += ctx.sent;
+            halted[v as usize] = ctx.halt_vote;
+            values[v as usize] = value;
+        }
+        stats.push(SuperstepStats {
+            superstep,
+            active,
+            messages_sent: sent,
+            duration: t0.elapsed(),
+            // The baseline fuses its check into the vertex loop; no
+            // separable selection phase exists to time.
+            selection_duration: std::time::Duration::ZERO,
+        });
+        std::mem::swap(&mut cur, &mut next);
+
+        if program.master_compute(superstep, &values) == MasterDecision::Halt {
+            break;
+        }
+        superstep += 1;
+        if let Some(cap) = config.max_supersteps {
+            if superstep >= cap {
+                break;
+            }
+        }
+        let any_pending = map
+            .live_slots()
+            .any(|v| !halted[v as usize] || cur[v as usize].is_some());
+        if !any_pending {
+            break;
+        }
+    }
+
+    RunOutput::new(values, map, stats, footprint)
+}
+
+struct SeqCtx<'a, P: VertexProgram> {
+    superstep: usize,
+    graph: &'a Graph,
+    v: VertexIndex,
+    inbox: Option<P::Message>,
+    next: &'a mut [Option<P::Message>],
+    sent: u64,
+    halt_vote: bool,
+}
+
+impl<P: VertexProgram> SeqCtx<'_, P> {
+    fn deliver(&mut self, slot: VertexIndex, msg: P::Message) {
+        match self.next[slot as usize].as_mut() {
+            Some(old) => P::combine(old, msg),
+            None => self.next[slot as usize] = Some(msg),
+        }
+        self.sent += 1;
+    }
+}
+
+impl<P: VertexProgram> Context for SeqCtx<'_, P> {
+    type Message = P::Message;
+
+    fn superstep(&self) -> usize {
+        self.superstep
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn id(&self) -> VertexId {
+        self.graph.id_of(self.v)
+    }
+
+    fn out_degree(&self) -> u32 {
+        self.graph.out_degree(self.v)
+    }
+
+    fn next_message(&mut self) -> Option<P::Message> {
+        self.inbox.take()
+    }
+
+    fn send(&mut self, to: VertexId, msg: P::Message) {
+        assert!(self.graph.address_map().contains(to), "send to unknown vertex id {to}");
+        self.deliver(self.graph.index_of(to), msg);
+    }
+
+    fn broadcast(&mut self, msg: P::Message) {
+        let neighbors: &[VertexIndex] = self.graph.out_neighbors(self.v);
+        for &n in neighbors {
+            self.deliver(n, msg);
+        }
+    }
+
+    fn vote_to_halt(&mut self) {
+        self.halt_vote = true;
+    }
+
+    fn for_each_out_edge(&mut self, f: &mut dyn FnMut(VertexId, Weight)) {
+        let neighbors = self.graph.out_neighbors(self.v);
+        match self.graph.out_weights(self.v) {
+            Some(ws) => {
+                for (&n, &w) in neighbors.iter().zip(ws) {
+                    f(self.graph.id_of(n), w);
+                }
+            }
+            None => {
+                for &n in neighbors {
+                    f(self.graph.id_of(n), 1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::push::run_push;
+    use crate::mailbox::SpinMailbox;
+    use ipregel_graph::{GraphBuilder, NeighborMode};
+
+    struct Flood;
+    impl VertexProgram for Flood {
+        type Value = u32;
+        type Message = u32;
+        fn initial_value(&self, _id: u32) -> u32 {
+            u32::MAX
+        }
+        fn compute<C: Context<Message = u32>>(&self, value: &mut u32, ctx: &mut C) {
+            let mut best = ctx.id();
+            while let Some(m) = ctx.next_message() {
+                best = best.min(m);
+            }
+            if best < *value {
+                *value = best;
+                ctx.broadcast(best);
+            }
+            ctx.vote_to_halt();
+        }
+        fn combine(old: &mut u32, new: u32) {
+            if new < *old {
+                *old = new;
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_matches_parallel() {
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        for i in 0..40u32 {
+            b.add_edge(i, (i * 7 + 1) % 40);
+            b.add_edge((i * 3 + 2) % 40, i);
+        }
+        let g = b.build().unwrap();
+        let seq = run_sequential(&g, &Flood, &RunConfig::default());
+        let par = run_push::<Flood, SpinMailbox<u32>>(&g, &Flood, &RunConfig::default());
+        assert_eq!(seq.values, par.values);
+        assert_eq!(seq.stats.total_messages(), par.stats.total_messages());
+    }
+
+    #[test]
+    fn sequential_is_deterministic() {
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        for i in 0..20u32 {
+            b.add_edge(i, (i + 1) % 20);
+        }
+        let g = b.build().unwrap();
+        let a = run_sequential(&g, &Flood, &RunConfig::default());
+        let b2 = run_sequential(&g, &Flood, &RunConfig::default());
+        assert_eq!(a.values, b2.values);
+        assert_eq!(a.stats.supersteps.len(), b2.stats.supersteps.len());
+    }
+
+    #[test]
+    fn honours_superstep_cap() {
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build().unwrap();
+        struct Chatty;
+        impl VertexProgram for Chatty {
+            type Value = u64;
+            type Message = u64;
+            fn initial_value(&self, _id: u32) -> u64 {
+                0
+            }
+            fn compute<C: Context<Message = u64>>(&self, value: &mut u64, ctx: &mut C) {
+                *value += 1;
+                ctx.broadcast(1);
+            }
+            fn combine(old: &mut u64, new: u64) {
+                *old += new;
+            }
+        }
+        let out = run_sequential(&g, &Chatty, &RunConfig { max_supersteps: Some(5), ..RunConfig::default() });
+        assert_eq!(out.stats.num_supersteps(), 5);
+        assert_eq!(*out.value_of(0), 5);
+    }
+}

@@ -1,0 +1,196 @@
+//! Per-run and per-superstep measurements.
+//!
+//! The paper's methodology (Section 7.1.2) times *superstep execution
+//! only* — graph loading and preprocessing are excluded. The engines
+//! therefore start the clock when the first superstep begins, and record
+//! per-superstep activity so the harness can reproduce the analyses of
+//! Section 7.2 (active-vertex ratios, superstep counts).
+
+use std::time::Duration;
+
+use serde::Serialize;
+
+/// What happened during one superstep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SuperstepStats {
+    /// Superstep number, starting at 0.
+    pub superstep: usize,
+    /// Vertices executed this superstep.
+    pub active: u64,
+    /// Messages sent this superstep (a broadcast to `k` neighbours counts
+    /// as `k` messages, as in Pregel's accounting).
+    pub messages_sent: u64,
+    /// Wall-clock time of the superstep.
+    pub duration: Duration,
+    /// Of `duration`: time spent *selecting* the next active set — the
+    /// cost Section 4's bypass attacks. Scan selection pays O(|V|) here
+    /// every superstep; the bypass pays O(active).
+    pub selection_duration: Duration,
+}
+
+/// Aggregated statistics of a complete run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct RunStats {
+    /// Every superstep, in order.
+    pub supersteps: Vec<SuperstepStats>,
+    /// Total superstep execution time (the paper's reported metric).
+    pub total_time: Duration,
+}
+
+impl RunStats {
+    /// Number of supersteps executed.
+    pub fn num_supersteps(&self) -> usize {
+        self.supersteps.len()
+    }
+
+    /// Total messages sent across the run.
+    pub fn total_messages(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.messages_sent).sum()
+    }
+
+    /// Total vertex executions across the run.
+    pub fn total_vertex_executions(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.active).sum()
+    }
+
+    /// Largest number of active vertices in any superstep.
+    pub fn peak_active(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.active).max().unwrap_or(0)
+    }
+
+    /// Record a completed superstep (public for alternative engines).
+    pub fn push(&mut self, s: SuperstepStats) {
+        self.total_time += s.duration;
+        self.supersteps.push(s);
+    }
+
+    /// Total time spent in the selection phase across the run.
+    pub fn total_selection_time(&self) -> Duration {
+        self.supersteps.iter().map(|s| s.selection_duration).sum()
+    }
+
+    /// A compact ASCII sparkline of active vertices per superstep — the
+    /// §7.1.4 activity evolutions at a glance: PageRank renders flat,
+    /// Hashmin decreasing, SSSP as a bell.
+    pub fn activity_sparkline(&self) -> String {
+        const LEVELS: &[u8] = b" .:-=+*#%@";
+        let peak = self.peak_active().max(1);
+        self.supersteps
+            .iter()
+            .map(|s| {
+                let idx = if s.active == 0 {
+                    0
+                } else {
+                    // Map (0, peak] onto 1..=9 so any activity is visible.
+                    1 + (s.active * 9 / peak).min(9).saturating_sub(1) as usize
+                };
+                LEVELS[idx] as char
+            })
+            .collect()
+    }
+}
+
+/// Exact byte accounting of everything an engine allocated, split the way
+/// Section 7.4.4 discusses memory: topology vs. framework overhead, and
+/// within the overhead, the data-race protection the paper halves and then
+/// zeroes out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct FootprintReport {
+    /// Bytes of the graph topology (CSR arrays); "the graph itself".
+    pub graph_bytes: usize,
+    /// Bytes of user vertex values.
+    pub values_bytes: usize,
+    /// Bytes of message slots (inboxes/outboxes), excluding locks.
+    pub mailbox_bytes: usize,
+    /// Bytes of data-race protection (locks); 0 for the pull combiner.
+    pub lock_bytes: usize,
+    /// Bytes of halted/active flags.
+    pub flags_bytes: usize,
+    /// Bytes of the selection-bypass worklists (0 when scanning).
+    pub worklist_bytes: usize,
+}
+
+impl FootprintReport {
+    /// Framework overhead: everything except the graph topology.
+    pub fn overhead_bytes(&self) -> usize {
+        self.values_bytes + self.mailbox_bytes + self.lock_bytes + self.flags_bytes + self.worklist_bytes
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.graph_bytes + self.overhead_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(n: usize, active: u64, msgs: u64) -> SuperstepStats {
+        SuperstepStats {
+            superstep: n,
+            active,
+            messages_sent: msgs,
+            duration: Duration::from_millis(10),
+            selection_duration: Duration::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn run_stats_aggregate() {
+        let mut r = RunStats::default();
+        r.push(step(0, 5, 7));
+        r.push(step(1, 3, 2));
+        assert_eq!(r.num_supersteps(), 2);
+        assert_eq!(r.total_messages(), 9);
+        assert_eq!(r.total_vertex_executions(), 8);
+        assert_eq!(r.peak_active(), 5);
+        assert_eq!(r.total_time, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn footprint_sums() {
+        let f = FootprintReport {
+            graph_bytes: 100,
+            values_bytes: 10,
+            mailbox_bytes: 20,
+            lock_bytes: 30,
+            flags_bytes: 5,
+            worklist_bytes: 15,
+        };
+        assert_eq!(f.overhead_bytes(), 80);
+        assert_eq!(f.total_bytes(), 180);
+    }
+
+    #[test]
+    fn selection_time_accumulates() {
+        let mut r = RunStats::default();
+        r.push(step(0, 5, 7));
+        r.push(step(1, 3, 2));
+        assert_eq!(r.total_selection_time(), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        let mut bell = RunStats::default();
+        for (i, a) in [1u64, 40, 100, 38, 2].iter().enumerate() {
+            bell.push(step(i, *a, 0));
+        }
+        let line = bell.activity_sparkline();
+        assert_eq!(line.len(), 5);
+        let bytes = line.as_bytes();
+        assert!(bytes[2] > bytes[0] && bytes[2] > bytes[4], "{line}");
+
+        let mut silent = RunStats::default();
+        silent.push(step(0, 0, 0));
+        assert_eq!(silent.activity_sparkline(), " ");
+    }
+
+    #[test]
+    fn empty_run_has_zeroes() {
+        let r = RunStats::default();
+        assert_eq!(r.num_supersteps(), 0);
+        assert_eq!(r.peak_active(), 0);
+        assert_eq!(r.total_messages(), 0);
+    }
+}

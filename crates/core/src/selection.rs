@@ -1,0 +1,248 @@
+//! Active-vertex selection: scanning vs. the selection bypass (Section 4).
+//!
+//! Conventional frameworks iterate *all* vertices each superstep, checking
+//! active state and inbox; inactive vertices make those checks unfruitful.
+//! When every vertex votes to halt at each superstep, "active next
+//! superstep" ≡ "received a message" — so the *sender* can record its
+//! recipient in the next superstep's worklist at send time, and the
+//! selection phase disappears. It also improves load balance: the
+//! worklist is split evenly across threads and every entry is guaranteed
+//! runnable.
+//!
+//! [`Worklist`] is the bypass data structure: one shard per worker thread
+//! so concurrent pushes never contend on a shared cursor. Exactly-once
+//! enqueueing comes for free in the push engines (the mailbox's
+//! empty→occupied transition is observed under its own synchronisation);
+//! the pull engine, whose senders enqueue *out-neighbours*, deduplicates
+//! with [`EpochTags`].
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+use crossbeam::utils::CachePadded;
+use ipregel_graph::VertexIndex;
+
+/// A concurrent list of vertices to run next superstep, with one private
+/// shard per rayon worker thread.
+///
+/// The hot path — `push` from inside a parallel region — is a plain
+/// `Vec::push` into the calling worker's own shard: no lock, no shared
+/// cursor, no cache-line ping-pong. This matches the C original, where
+/// each OpenMP thread appends to a thread-local list. Pushes from
+/// outside the pool (never the engines' case) fall back to a mutex.
+///
+/// # Safety model
+/// A shard is touched only by the worker whose `rayon`
+/// thread index owns it; `len`/`drain_to_vec`/`clear` are called by the
+/// orchestrating thread strictly between parallel regions (after the
+/// superstep barrier), when no pushes are in flight.
+#[derive(Debug)]
+pub struct Worklist {
+    shards: Box<[CachePadded<UnsafeCell<Vec<VertexIndex>>>]>,
+    fallback: Mutex<Vec<VertexIndex>>,
+}
+
+// SAFETY: see the safety model above — shards are disjoint per worker
+// thread during parallel regions, and exclusively owned between them.
+unsafe impl Sync for Worklist {}
+unsafe impl Send for Worklist {}
+
+impl Worklist {
+    /// A worklist for a graph of `slots` vertices, sharded for the
+    /// current rayon pool (engines construct it inside their pool).
+    pub fn new(slots: usize) -> Self {
+        let shards = rayon::current_num_threads().max(1);
+        let per_shard = (slots / shards).max(16);
+        let shards = (0..shards)
+            .map(|_| CachePadded::new(UnsafeCell::new(Vec::with_capacity(per_shard))))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Worklist { shards, fallback: Mutex::new(Vec::new()) }
+    }
+
+    /// Append `v`. Caller-side dedup (mailbox transition or epoch tags)
+    /// keeps total pushes bounded by the vertex count per superstep.
+    #[inline]
+    pub fn push(&self, v: VertexIndex) {
+        match rayon::current_thread_index() {
+            Some(i) => {
+                // SAFETY: worker `i` is the only thread that ever touches
+                // shard `i` inside a parallel region.
+                let shard = unsafe { &mut *self.shards[i % self.shards.len()].get() };
+                shard.push(v);
+            }
+            None => self.fallback.lock().expect("worklist fallback poisoned").push(v),
+        }
+    }
+
+    /// Number of queued vertices (post-barrier).
+    pub fn len(&self) -> usize {
+        // SAFETY: called between parallel regions; no concurrent pushes.
+        let sharded: usize = self.shards.iter().map(|s| unsafe { (*s.get()).len() }).sum();
+        sharded + self.fallback.lock().expect("worklist fallback poisoned").len()
+    }
+
+    /// Whether nothing is queued (post-barrier).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out the queued vertices (post-barrier; shard order).
+    pub fn drain_to_vec(&self) -> Vec<VertexIndex> {
+        let mut out = Vec::with_capacity(self.len());
+        for s in self.shards.iter() {
+            // SAFETY: called between parallel regions.
+            out.extend_from_slice(unsafe { &*s.get() });
+        }
+        out.extend_from_slice(&self.fallback.lock().expect("worklist fallback poisoned"));
+        out
+    }
+
+    /// Reset to empty, keeping shard capacity for reuse (post-barrier).
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            // SAFETY: called between parallel regions.
+            unsafe { (*s.get()).clear() };
+        }
+        self.fallback.lock().expect("worklist fallback poisoned").clear();
+    }
+
+    /// Current heap bytes across shards (capacity, not length;
+    /// post-barrier).
+    pub fn bytes(&self) -> usize {
+        self.shards
+            .iter()
+            // SAFETY: called between parallel regions.
+            .map(|s| unsafe { (*s.get()).capacity() } * std::mem::size_of::<VertexIndex>())
+            .sum::<usize>()
+            + self.fallback.lock().expect("worklist fallback poisoned").capacity()
+                * std::mem::size_of::<VertexIndex>()
+            + self.shards.len() * std::mem::size_of::<CachePadded<UnsafeCell<Vec<VertexIndex>>>>()
+    }
+}
+
+/// Per-vertex epoch tags granting exactly-one enqueue per superstep.
+///
+/// A tag holds the last epoch for which its vertex was enqueued; `claim`
+/// swaps in the current epoch and reports whether the caller won. Tags
+/// never need clearing between supersteps — the epoch monotonically
+/// increases — which keeps bypass bookkeeping O(active), not O(V).
+#[derive(Debug)]
+pub struct EpochTags {
+    tags: Box<[AtomicU32]>,
+}
+
+impl EpochTags {
+    /// Tags for `slots` vertices, all initially unclaimed (epoch 0 is
+    /// never used: epochs start at 1).
+    pub fn new(slots: usize) -> Self {
+        let tags = (0..slots).map(|_| AtomicU32::new(0)).collect::<Vec<_>>().into_boxed_slice();
+        EpochTags { tags }
+    }
+
+    /// Attempt to claim `v` for `epoch`; true exactly once per (v, epoch).
+    #[inline]
+    pub fn claim(&self, v: VertexIndex, epoch: u32) -> bool {
+        let tag = &self.tags[v as usize];
+        // Fast path: already claimed by someone this epoch.
+        if tag.load(Ordering::Relaxed) == epoch {
+            return false;
+        }
+        // swap is a single RMW: the first thread to swap sees the old
+        // epoch and wins; latecomers see `epoch` and lose.
+        tag.swap(epoch, Ordering::Relaxed) != epoch
+    }
+
+    /// Bytes of the tag array.
+    pub fn bytes(&self) -> usize {
+        self.tags.len() * std::mem::size_of::<AtomicU32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn push_and_drain() {
+        let wl = Worklist::new(4);
+        wl.push(3);
+        wl.push(1);
+        assert_eq!(wl.len(), 2);
+        let mut v = wl.drain_to_vec();
+        v.sort();
+        assert_eq!(v, vec![1, 3]);
+        wl.clear();
+        assert!(wl.is_empty());
+    }
+
+    #[test]
+    fn concurrent_pushes_all_land() {
+        let wl = Worklist::new(10_000);
+        (0..10_000u32).into_par_iter().for_each(|i| wl.push(i));
+        assert_eq!(wl.len(), 10_000);
+        let set: HashSet<u32> = wl.drain_to_vec().into_iter().collect();
+        assert_eq!(set.len(), 10_000);
+    }
+
+    #[test]
+    fn clear_then_reuse() {
+        let wl = Worklist::new(8);
+        wl.push(1);
+        wl.clear();
+        wl.push(2);
+        assert_eq!(wl.drain_to_vec(), vec![2]);
+    }
+
+    #[test]
+    fn epoch_claim_is_exactly_once() {
+        let tags = EpochTags::new(8);
+        assert!(tags.claim(3, 1));
+        assert!(!tags.claim(3, 1));
+        assert!(tags.claim(3, 2)); // new epoch, claimable again
+        assert!(!tags.claim(3, 2));
+        assert!(tags.claim(4, 2)); // different vertex independent
+    }
+
+    #[test]
+    fn concurrent_claims_grant_one_winner() {
+        let tags = EpochTags::new(1);
+        for epoch in 1..50u32 {
+            let winners: u32 =
+                (0..64).into_par_iter().map(|_| u32::from(tags.claim(0, epoch))).sum();
+            assert_eq!(winners, 1, "epoch {epoch} had {winners} winners");
+        }
+    }
+
+    #[test]
+    fn dedup_keeps_one_entry_per_vertex() {
+        let slots = 256;
+        let wl = Worklist::new(slots);
+        let tags = EpochTags::new(slots);
+        (0..slots * 16).into_par_iter().for_each(|i| {
+            let v = (i % slots) as u32;
+            if tags.claim(v, 1) {
+                wl.push(v);
+            }
+        });
+        assert_eq!(wl.len(), slots);
+        let set: HashSet<u32> = wl.drain_to_vec().into_iter().collect();
+        assert_eq!(set.len(), slots);
+    }
+
+    #[test]
+    fn bytes_reflect_storage() {
+        let wl = Worklist::new(1000);
+        let before = wl.bytes();
+        assert!(before > 0);
+        for v in 0..10_000u32 {
+            wl.push(v);
+        }
+        assert!(wl.bytes() >= 10_000 * 4);
+        let tags = EpochTags::new(100);
+        assert_eq!(tags.bytes(), 400);
+    }
+}

@@ -1,0 +1,97 @@
+//! A shared slice with caller-guaranteed disjoint access.
+//!
+//! The engines process each active vertex exactly once per superstep, so
+//! per-vertex state (values, halted flags, outboxes) is mutated by at most
+//! one thread at a time even though the slice itself is shared across the
+//! rayon pool. [`SharedSlice`] encodes that contract: it hands out `&mut`
+//! references through a shared reference, and the *engine* is responsible
+//! for index disjointness (guaranteed by the worklist's exactly-once
+//! enqueueing or by the scan's distinct indices).
+//!
+//! This is the standard "split by index" pattern from the concurrency
+//! literature (cf. Rust Atomics and Locks, ch. 1: exclusive access can be
+//! subdivided structurally); `unsafe` is confined to this module.
+
+use std::cell::UnsafeCell;
+
+/// Shared view of `&mut [T]` allowing per-index exclusive access.
+pub struct SharedSlice<'a, T> {
+    cells: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: access is disjoint by engine contract; T crossing threads
+// requires T: Send. Sync is what lets rayon share the view.
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wrap an exclusive slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: UnsafeCell<T> has the same layout as T; we own the
+        // unique borrow for 'a, so re-exposing it cell-wise is sound.
+        let cells = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
+        SharedSlice { cells }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Exclusive reference to element `i`.
+    ///
+    /// # Safety
+    /// No other thread may access index `i` for the lifetime of the
+    /// returned reference. The engines guarantee this by processing each
+    /// vertex at most once per superstep.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        &mut *self.cells[i].get()
+    }
+
+    /// Shared read of element `i`.
+    ///
+    /// # Safety
+    /// No thread may hold a mutable reference to index `i` concurrently.
+    /// Used for read-only phases (e.g. the pull engine's gather, which
+    /// reads outboxes written in the *previous* superstep).
+    #[inline]
+    pub unsafe fn get(&self, i: usize) -> &T {
+        &*self.cells[i].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let mut data = vec![0u64; 1000];
+        {
+            let view = SharedSlice::new(&mut data);
+            (0..1000usize).into_par_iter().for_each(|i| {
+                // SAFETY: indices are distinct.
+                unsafe { *view.get_mut(i) = i as u64 * 2 };
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 * 2));
+    }
+
+    #[test]
+    fn reads_see_previous_phase_writes() {
+        let mut data = vec![1u32, 2, 3];
+        let view = SharedSlice::new(&mut data);
+        let total: u32 = (0..3).map(|i| unsafe { *view.get(i) }).sum();
+        assert_eq!(total, 6);
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Broadcast/send semantics details: repeated broadcasts within one
+//! compute call, mixing send with broadcast, and message accounting.
+
+use ipregel::{run, CombinerKind, Context, RunConfig, Version, VertexProgram};
+use ipregel_graph::{GraphBuilder, NeighborMode, VertexId};
+
+/// Broadcasts twice in one compute call; receivers must see the
+/// *combined* value (the outbox/mailbox combines, §6.3), not two
+/// messages or the last one.
+struct DoubleBroadcast;
+
+impl VertexProgram for DoubleBroadcast {
+    type Value = u64;
+    type Message = u64;
+
+    fn initial_value(&self, _id: VertexId) -> u64 {
+        0
+    }
+
+    fn compute<C: Context<Message = u64>>(&self, value: &mut u64, ctx: &mut C) {
+        while let Some(m) = ctx.next_message() {
+            *value += m;
+        }
+        if ctx.is_first_superstep() {
+            ctx.broadcast(5);
+            ctx.broadcast(7);
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combine(old: &mut u64, new: u64) {
+        *old += new;
+    }
+}
+
+#[test]
+fn double_broadcast_combines_per_recipient() {
+    let mut b = GraphBuilder::new(NeighborMode::Both);
+    b.add_edge(0, 1);
+    b.add_edge(0, 2);
+    let g = b.build().unwrap();
+    for combiner in [CombinerKind::Mutex, CombinerKind::Spinlock, CombinerKind::Broadcast] {
+        let out = run(
+            &g,
+            &DoubleBroadcast,
+            Version { combiner, selection_bypass: false },
+            &RunConfig::default(),
+        );
+        assert_eq!(*out.value_of(1), 12, "{combiner:?}");
+        assert_eq!(*out.value_of(2), 12, "{combiner:?}");
+    }
+}
+
+/// Mixes point-to-point sends with a broadcast in one compute call
+/// (push engines only).
+struct MixedSends;
+
+impl VertexProgram for MixedSends {
+    type Value = u64;
+    type Message = u64;
+
+    fn initial_value(&self, _id: VertexId) -> u64 {
+        0
+    }
+
+    fn compute<C: Context<Message = u64>>(&self, value: &mut u64, ctx: &mut C) {
+        while let Some(m) = ctx.next_message() {
+            *value += m;
+        }
+        if ctx.is_first_superstep() && ctx.id() == 0 {
+            ctx.broadcast(1); // neighbours: 1 and 2
+            ctx.send(2, 10); // extra direct send combines on top
+            ctx.send(0, 100); // self-send
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combine(old: &mut u64, new: u64) {
+        *old += new;
+    }
+}
+
+#[test]
+fn send_and_broadcast_combine_in_the_same_superstep() {
+    let mut b = GraphBuilder::new(NeighborMode::Both);
+    b.add_edge(0, 1);
+    b.add_edge(0, 2);
+    let g = b.build().unwrap();
+    for combiner in [CombinerKind::Mutex, CombinerKind::Spinlock] {
+        let out = run(
+            &g,
+            &MixedSends,
+            Version { combiner, selection_bypass: true },
+            &RunConfig::default(),
+        );
+        assert_eq!(*out.value_of(1), 1, "{combiner:?}");
+        assert_eq!(*out.value_of(2), 11, "{combiner:?}");
+        assert_eq!(*out.value_of(0), 100, "{combiner:?} self-send");
+    }
+}
+
+#[test]
+fn message_accounting_counts_individual_sends() {
+    let mut b = GraphBuilder::new(NeighborMode::Both);
+    b.add_edge(0, 1);
+    b.add_edge(0, 2);
+    let g = b.build().unwrap();
+    let out = run(
+        &g,
+        &MixedSends,
+        Version { combiner: CombinerKind::Spinlock, selection_bypass: false },
+        &RunConfig::default(),
+    );
+    // broadcast(2 neighbours) + send + self-send = 4 messages at s0.
+    assert_eq!(out.stats.supersteps[0].messages_sent, 4);
+}
+
+/// Broadcast from a sink (no out-neighbours) is a no-op everywhere.
+struct SinkShout;
+
+impl VertexProgram for SinkShout {
+    type Value = u64;
+    type Message = u64;
+
+    fn initial_value(&self, _id: VertexId) -> u64 {
+        0
+    }
+
+    fn compute<C: Context<Message = u64>>(&self, value: &mut u64, ctx: &mut C) {
+        while let Some(m) = ctx.next_message() {
+            *value += m;
+        }
+        if ctx.is_first_superstep() {
+            ctx.broadcast(1);
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combine(old: &mut u64, new: u64) {
+        *old += new;
+    }
+}
+
+#[test]
+fn broadcast_from_a_sink_sends_nothing() {
+    // Vertex 1 is a sink; its broadcast must not loop back or crash, and
+    // superstep 0 counts exactly vertex 0's one message.
+    let mut b = GraphBuilder::new(NeighborMode::Both);
+    b.add_edge(0, 1);
+    let g = b.build().unwrap();
+    for v in Version::paper_versions() {
+        let out = run(&g, &SinkShout, v, &RunConfig::default());
+        assert_eq!(*out.value_of(1), 1, "{}", v.label());
+        assert_eq!(*out.value_of(0), 0);
+        assert_eq!(out.stats.supersteps[0].messages_sent, 1);
+    }
+}

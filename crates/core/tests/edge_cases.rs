@@ -1,0 +1,233 @@
+//! Engine edge cases: degenerate graphs, extreme identifiers, self-loop
+//! message semantics, and accounting invariants.
+
+use ipregel::{run, CombinerKind, Context, RunConfig, Version, VertexProgram};
+use ipregel_graph::{GraphBuilder, NeighborMode, VertexId};
+
+struct MinFlood;
+impl VertexProgram for MinFlood {
+    type Value = u32;
+    type Message = u32;
+    fn initial_value(&self, _id: VertexId) -> u32 {
+        u32::MAX
+    }
+    fn compute<C: Context<Message = u32>>(&self, value: &mut u32, ctx: &mut C) {
+        let mut best = ctx.id();
+        while let Some(m) = ctx.next_message() {
+            best = best.min(m);
+        }
+        if best < *value {
+            *value = best;
+            ctx.broadcast(best);
+        }
+        ctx.vote_to_halt();
+    }
+    fn combine(old: &mut u32, new: u32) {
+        if new < *old {
+            *old = new;
+        }
+    }
+}
+
+#[test]
+fn single_vertex_with_self_loop() {
+    let mut b = GraphBuilder::new(NeighborMode::Both);
+    b.add_edge(0, 0);
+    let g = b.build().unwrap();
+    for v in Version::paper_versions() {
+        let out = run(&g, &MinFlood, v, &RunConfig::default());
+        assert_eq!(*out.value_of(0), 0, "{}", v.label());
+        // Superstep 0 broadcasts to itself, superstep 1 receives but
+        // cannot improve — quiescence follows.
+        assert!(out.stats.num_supersteps() <= 3);
+    }
+}
+
+#[test]
+fn edgeless_vertices_via_declared_range() {
+    let mut b = GraphBuilder::new(NeighborMode::Both).declare_id_range(0, 100);
+    b.add_edge(0, 1);
+    let g = b.build().unwrap();
+    for v in Version::paper_versions() {
+        let out = run(&g, &MinFlood, v, &RunConfig::default());
+        assert_eq!(*out.value_of(1), 0);
+        for id in 2..100 {
+            assert_eq!(*out.value_of(id), id, "{}", v.label());
+        }
+    }
+}
+
+#[test]
+fn identifiers_near_u32_max() {
+    let base = u32::MAX - 5;
+    let mut b = GraphBuilder::new(NeighborMode::Both);
+    for i in 0..5u32 {
+        b.add_edge(base + i, base + i + 1);
+        b.add_edge(base + i + 1, base + i);
+    }
+    let g = b.build().unwrap();
+    assert_eq!(g.num_vertices(), 6);
+    for v in Version::paper_versions() {
+        let out = run(&g, &MinFlood, v, &RunConfig::default());
+        for i in 0..6u32 {
+            assert_eq!(*out.value_of(base + i), base, "{}", v.label());
+        }
+    }
+}
+
+#[test]
+fn self_loop_messages_arrive_next_superstep() {
+    // A vertex that messages itself must see the message one superstep
+    // later (BSP), not within the same compute call.
+    struct SelfPing;
+    impl VertexProgram for SelfPing {
+        type Value = Vec<usize>; // supersteps at which a message arrived
+        type Message = u32;
+        fn initial_value(&self, _id: VertexId) -> Vec<usize> {
+            Vec::new()
+        }
+        fn compute<C: Context<Message = u32>>(&self, value: &mut Vec<usize>, ctx: &mut C) {
+            if ctx.next_message().is_some() {
+                value.push(ctx.superstep());
+            }
+            if ctx.superstep() < 3 {
+                ctx.broadcast(1);
+            } else {
+                ctx.vote_to_halt();
+            }
+        }
+        fn combine(old: &mut u32, new: u32) {
+            *old += new;
+        }
+    }
+    let mut b = GraphBuilder::new(NeighborMode::Both);
+    b.add_edge(0, 0);
+    let g = b.build().unwrap();
+    for combiner in [CombinerKind::Mutex, CombinerKind::Spinlock, CombinerKind::Broadcast] {
+        let out = run(
+            &g,
+            &SelfPing,
+            Version { combiner, selection_bypass: false },
+            &RunConfig::default(),
+        );
+        // Broadcasts at supersteps 0,1,2 arrive at 1,2,3 — one later,
+        // never within the sending superstep.
+        assert_eq!(*out.value_of(0), vec![1, 2, 3], "{combiner:?}");
+    }
+}
+
+#[test]
+fn zero_value_messages_are_real_messages() {
+    // A message whose payload is 0 must still activate its recipient
+    // (regression guard against confusing "zero" with "absent").
+    struct ZeroPing;
+    impl VertexProgram for ZeroPing {
+        type Value = bool; // received anything?
+        type Message = u32;
+        fn initial_value(&self, _id: VertexId) -> bool {
+            false
+        }
+        fn compute<C: Context<Message = u32>>(&self, value: &mut bool, ctx: &mut C) {
+            if ctx.next_message().is_some() {
+                *value = true;
+            }
+            if ctx.is_first_superstep() && ctx.id() == 0 {
+                ctx.broadcast(0);
+            }
+            ctx.vote_to_halt();
+        }
+        fn combine(old: &mut u32, new: u32) {
+            *old += new;
+        }
+    }
+    let mut b = GraphBuilder::new(NeighborMode::Both);
+    b.add_edge(0, 1);
+    let g = b.build().unwrap();
+    for v in Version::paper_versions() {
+        let out = run(&g, &ZeroPing, v, &RunConfig::default());
+        assert!(*out.value_of(1), "{}", v.label());
+    }
+}
+
+#[test]
+fn footprint_is_stable_across_runs_and_selection_timing_is_bounded() {
+    let mut b = GraphBuilder::new(NeighborMode::Both);
+    for i in 0..500u32 {
+        b.add_edge(i, (i + 1) % 500);
+    }
+    let g = b.build().unwrap();
+    for v in Version::paper_versions() {
+        let a = run(&g, &MinFlood, v, &RunConfig::default());
+        let b2 = run(&g, &MinFlood, v, &RunConfig::default());
+        assert_eq!(a.footprint, b2.footprint, "{}", v.label());
+        // Selection time is part of, and cannot exceed, total time.
+        assert!(a.stats.total_selection_time() <= a.stats.total_time);
+    }
+}
+
+#[test]
+fn two_vertex_mutual_edges_min_flood() {
+    let mut b = GraphBuilder::new(NeighborMode::Both);
+    b.add_edge(7, 8);
+    b.add_edge(8, 7);
+    let g = b.build().unwrap();
+    for v in Version::paper_versions() {
+        let out = run(&g, &MinFlood, v, &RunConfig::default());
+        assert_eq!(*out.value_of(7), 7);
+        assert_eq!(*out.value_of(8), 7);
+    }
+}
+
+#[test]
+fn max_supersteps_zero_like_cap_of_one() {
+    let mut b = GraphBuilder::new(NeighborMode::Both);
+    b.add_edge(0, 1);
+    let g = b.build().unwrap();
+    let out = run(
+        &g,
+        &MinFlood,
+        Version { combiner: CombinerKind::Spinlock, selection_bypass: false },
+        &RunConfig { max_supersteps: Some(1), ..RunConfig::default() },
+    );
+    assert_eq!(out.stats.num_supersteps(), 1);
+    // Vertex 1's incoming 0 was sent but never consumed.
+    assert_eq!(*out.value_of(1), 1);
+}
+
+#[test]
+fn parallel_edges_multiply_messages_but_combine_to_one() {
+    struct CountMsgs;
+    impl VertexProgram for CountMsgs {
+        type Value = u32; // combined count received
+        type Message = u32;
+        fn initial_value(&self, _id: VertexId) -> u32 {
+            0
+        }
+        fn compute<C: Context<Message = u32>>(&self, value: &mut u32, ctx: &mut C) {
+            while let Some(m) = ctx.next_message() {
+                *value += m;
+            }
+            if ctx.is_first_superstep() {
+                ctx.broadcast(1);
+            }
+            ctx.vote_to_halt();
+        }
+        fn combine(old: &mut u32, new: u32) {
+            *old += new;
+        }
+    }
+    let mut b = GraphBuilder::new(NeighborMode::Both);
+    b.add_edge(0, 1);
+    b.add_edge(0, 1);
+    b.add_edge(0, 1);
+    let g = b.build().unwrap();
+    for combiner in [CombinerKind::Mutex, CombinerKind::Spinlock, CombinerKind::Broadcast] {
+        let out = run(&g, &CountMsgs, Version { combiner, selection_bypass: false }, &RunConfig::default());
+        // Pull outboxes hold ONE broadcast value per sender; a triple
+        // parallel edge delivers it once per gather over the in-list —
+        // in-neighbours list contains 0 three times, so 3 fetches. Push
+        // delivers 3 sends. Either way the combined sum is 3.
+        assert_eq!(*out.value_of(1), 3, "{combiner:?}");
+        assert_eq!(out.stats.supersteps[0].messages_sent, 3);
+    }
+}

@@ -1,0 +1,289 @@
+//! Compressed-sparse-row adjacency storage and the [`Graph`] type.
+//!
+//! iPregel stores all vertices in flat arrays indexed by the addressing
+//! schemes of [`crate::ids`]. Adjacency is held in CSR form: one offsets
+//! array of `slots + 1` entries and one packed targets array of `u32`
+//! internal indices, optionally mirrored by a parallel weights array.
+//!
+//! A [`Graph`] owns up to two CSRs — out-edges and in-edges — matching the
+//! paper's tailor-made vertex internals (Section 6.2): applications that
+//! never look at in-neighbours simply never build the in-CSR, and the
+//! memory accounting reflects that.
+
+use crate::ids::{AddressMap, VertexId, VertexIndex};
+
+/// Edge weight type. The paper's SSSP uses unit weights; the DIMACS road
+/// graphs carry 32-bit integer distances.
+pub type Weight = u32;
+
+/// One-directional adjacency in compressed-sparse-row form, indexed by
+/// internal vertex slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v + 1]` is the range of `v`'s edges in `targets`.
+    offsets: Vec<u64>,
+    /// Edge targets as internal indices, grouped by source slot.
+    targets: Vec<VertexIndex>,
+    /// Optional per-edge weights, parallel to `targets`.
+    weights: Option<Vec<Weight>>,
+}
+
+impl Csr {
+    /// Build a CSR over `slots` slots from `(source_slot, target_slot)`
+    /// pairs via counting sort. `weights`, when given, must parallel `edges`.
+    pub fn from_edges(
+        slots: usize,
+        edges: &[(VertexIndex, VertexIndex)],
+        weights: Option<&[Weight]>,
+    ) -> Csr {
+        debug_assert!(weights.is_none_or(|w| w.len() == edges.len()));
+        let mut offsets = vec![0u64; slots + 1];
+        for &(src, _) in edges {
+            offsets[src as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut targets = vec![0 as VertexIndex; edges.len()];
+        let mut wout = weights.map(|_| vec![0 as Weight; edges.len()]);
+        let mut cursor = offsets.clone();
+        for (e, &(src, dst)) in edges.iter().enumerate() {
+            let at = cursor[src as usize] as usize;
+            targets[at] = dst;
+            if let (Some(w), Some(ws)) = (&mut wout, weights) {
+                w[at] = ws[e];
+            }
+            cursor[src as usize] += 1;
+        }
+        Csr { offsets, targets, weights: wout }
+    }
+
+    /// Number of slots this CSR covers.
+    pub fn num_slots(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of edges stored.
+    pub fn num_edges(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Whether edges carry weights.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Neighbour slots of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexIndex) -> &[VertexIndex] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Weights parallel to [`Csr::neighbors`], or `None` for unweighted
+    /// graphs.
+    #[inline]
+    pub fn weights_of(&self, v: VertexIndex) -> Option<&[Weight]> {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        self.weights.as_ref().map(|w| &w[lo..hi])
+    }
+
+    /// Degree of `v` in this direction.
+    #[inline]
+    pub fn degree(&self, v: VertexIndex) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+
+    /// Exact heap bytes held by this CSR.
+    pub fn bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.targets.len() * std::mem::size_of::<VertexIndex>()
+            + self.weights.as_ref().map_or(0, |w| w.len() * std::mem::size_of::<Weight>())
+    }
+}
+
+/// An immutable, static graph: an [`AddressMap`] plus adjacency.
+///
+/// All accessor methods take and return *internal slot indices*; translate
+/// with [`Graph::index_of`] / [`Graph::id_of`] at the boundary. The paper's
+/// framework requires consecutive integral identifiers and static graphs
+/// (Section 3.3) — both enforced at build time by
+/// [`crate::builder::GraphBuilder`].
+#[derive(Debug, Clone)]
+pub struct Graph {
+    map: AddressMap,
+    out: Option<Csr>,
+    incoming: Option<Csr>,
+    /// Out-degrees when the out-CSR is absent (in-only internals); PageRank
+    /// needs out-degrees regardless of engine direction.
+    out_degrees: Option<Vec<u32>>,
+    num_edges: u64,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        map: AddressMap,
+        out: Option<Csr>,
+        incoming: Option<Csr>,
+        out_degrees: Option<Vec<u32>>,
+        num_edges: u64,
+    ) -> Graph {
+        Graph { map, out, incoming, out_degrees, num_edges }
+    }
+
+    /// Number of real vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.map.num_vertices() as usize
+    }
+
+    /// Number of array slots per vertex array (= vertices + desolate waste).
+    pub fn num_slots(&self) -> usize {
+        self.map.slots()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// The identifier ↔ index mapping in use.
+    pub fn address_map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// Internal slot of the vertex with external identifier `id`.
+    #[inline(always)]
+    pub fn index_of(&self, id: VertexId) -> VertexIndex {
+        self.map.index_of(id)
+    }
+
+    /// External identifier of the vertex at `index`.
+    #[inline(always)]
+    pub fn id_of(&self, index: VertexIndex) -> VertexId {
+        self.map.id_of(index)
+    }
+
+    /// Whether the graph retains out-adjacency.
+    pub fn has_out_edges(&self) -> bool {
+        self.out.is_some()
+    }
+
+    /// Whether the graph retains in-adjacency.
+    pub fn has_in_edges(&self) -> bool {
+        self.incoming.is_some()
+    }
+
+    /// Whether edges carry weights.
+    pub fn is_weighted(&self) -> bool {
+        self.out.as_ref().or(self.incoming.as_ref()).is_some_and(Csr::is_weighted)
+    }
+
+    /// Out-neighbour slots of `v`.
+    ///
+    /// # Panics
+    /// If the graph was built without out-adjacency.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexIndex) -> &[VertexIndex] {
+        self.out.as_ref().expect("graph built without out-edges").neighbors(v)
+    }
+
+    /// In-neighbour slots of `v`.
+    ///
+    /// # Panics
+    /// If the graph was built without in-adjacency.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexIndex) -> &[VertexIndex] {
+        self.incoming.as_ref().expect("graph built without in-edges").neighbors(v)
+    }
+
+    /// Weights parallel to [`Graph::out_neighbors`], `None` when unweighted.
+    #[inline]
+    pub fn out_weights(&self, v: VertexIndex) -> Option<&[Weight]> {
+        self.out.as_ref().expect("graph built without out-edges").weights_of(v)
+    }
+
+    /// Out-degree of `v`; available in every neighbour mode.
+    #[inline]
+    pub fn out_degree(&self, v: VertexIndex) -> u32 {
+        match (&self.out, &self.out_degrees) {
+            (Some(csr), _) => csr.degree(v),
+            (None, Some(d)) => d[v as usize],
+            (None, None) => unreachable!("builder always retains out-degrees"),
+        }
+    }
+
+    /// In-degree of `v`.
+    ///
+    /// # Panics
+    /// If the graph was built without in-adjacency.
+    #[inline]
+    pub fn in_degree(&self, v: VertexIndex) -> u32 {
+        self.incoming.as_ref().expect("graph built without in-edges").degree(v)
+    }
+
+    /// The out-CSR, if retained.
+    pub fn out_csr(&self) -> Option<&Csr> {
+        self.out.as_ref()
+    }
+
+    /// The in-CSR, if retained.
+    pub fn in_csr(&self) -> Option<&Csr> {
+        self.incoming.as_ref()
+    }
+
+    /// Exact heap bytes held by the graph topology (CSRs, degree array).
+    ///
+    /// This is the "graph itself" part of Section 7.4's accounting, as
+    /// opposed to the framework overhead reported by the engines.
+    pub fn bytes(&self) -> usize {
+        self.out.as_ref().map_or(0, Csr::bytes)
+            + self.incoming.as_ref().map_or(0, Csr::bytes)
+            + self.out_degrees.as_ref().map_or(0, |d| d.len() * std::mem::size_of::<u32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sort_groups_by_source() {
+        let edges = [(2u32, 0u32), (0, 1), (2, 1), (0, 2)];
+        let csr = Csr::from_edges(3, &edges, None);
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.neighbors(1), &[] as &[u32]);
+        assert_eq!(csr.neighbors(2), &[0, 1]);
+        assert_eq!(csr.degree(1), 0);
+        assert_eq!(csr.num_edges(), 4);
+    }
+
+    #[test]
+    fn weights_stay_parallel_to_targets() {
+        let edges = [(0u32, 1u32), (1, 0), (0, 2)];
+        let w = [10, 20, 30];
+        let csr = Csr::from_edges(3, &edges, Some(&w));
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.weights_of(0).unwrap(), &[10, 30]);
+        assert_eq!(csr.weights_of(1).unwrap(), &[20]);
+        assert!(csr.is_weighted());
+    }
+
+    #[test]
+    fn empty_slots_have_empty_ranges() {
+        let csr = Csr::from_edges(4, &[], None);
+        for v in 0..4 {
+            assert_eq!(csr.neighbors(v), &[] as &[u32]);
+        }
+        assert_eq!(csr.num_edges(), 0);
+    }
+
+    #[test]
+    fn bytes_counts_all_arrays() {
+        let edges = [(0u32, 1u32); 8];
+        let unweighted = Csr::from_edges(2, &edges, None);
+        let weighted = Csr::from_edges(2, &edges, Some(&[1; 8]));
+        assert_eq!(weighted.bytes() - unweighted.bytes(), 8 * 4);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type shared by graph construction and the file-format loaders.
+
+use std::fmt;
+
+/// Everything that can go wrong while building or loading a graph.
+#[derive(Debug)]
+pub enum GraphError {
+    /// The builder was asked to produce a graph with no vertices.
+    EmptyGraph,
+    /// Direct mapping was requested but the smallest identifier is not 0.
+    DirectMappingNeedsZeroBase {
+        /// The smallest identifier actually present.
+        min_id: u32,
+    },
+    /// An edge endpoint falls outside the declared identifier range.
+    IdOutOfRange {
+        /// The offending identifier.
+        id: u32,
+        /// Inclusive lower bound of the accepted range.
+        base: u32,
+        /// Number of vertices, i.e. accepted ids are `base..base + count`.
+        count: u64,
+    },
+    /// Weighted and unweighted edges were mixed in one builder.
+    MixedWeightedness,
+    /// The identifier space would overflow the `u32` index type.
+    TooManyVertices(u64),
+    /// A parse failure in one of the loaders, with 1-based line number.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed binary-format header or payload.
+    BadBinary(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EmptyGraph => write!(f, "graph has no vertices"),
+            GraphError::DirectMappingNeedsZeroBase { min_id } => write!(
+                f,
+                "direct mapping requires identifiers to start at 0, found minimum id {min_id}"
+            ),
+            GraphError::IdOutOfRange { id, base, count } => write!(
+                f,
+                "vertex id {id} outside declared range [{base}, {})",
+                u64::from(*base) + count
+            ),
+            GraphError::MixedWeightedness => {
+                write!(f, "cannot mix weighted and unweighted edges in one graph")
+            }
+            GraphError::TooManyVertices(n) => {
+                write!(f, "{n} vertex slots exceed the u32 index space")
+            }
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::BadBinary(m) => write!(f, "malformed binary graph: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}

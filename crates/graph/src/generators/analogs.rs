@@ -1,0 +1,180 @@
+//! Named synthetic stand-ins for the paper's datasets.
+//!
+//! The paper downloads Wikipedia (dbpedia-link) and Twitter/Friendster
+//! from KONECT and the USA road network from DIMACS — tens of millions of
+//! vertices and up to 2.6 billion edges. Those downloads are not available
+//! here, so each dataset gets a generated *analog* that preserves the
+//! properties the paper's analysis actually depends on:
+//!
+//! * the |E|/|V| ratio (graph density drives pull-combiner cost, §6.2);
+//! * the degree character — heavy-tailed R-MAT for the social/web graphs,
+//!   near-uniform sparse grid for the road network;
+//! * the huge diameter of the road graph (drives superstep counts and the
+//!   selection-bypass gap, §7.2);
+//! * 1-based contiguous identifiers, so the desolate-memory addressing
+//!   path is exercised exactly as in Section 7.1.3.
+//!
+//! Graphs are scaled down by a caller-chosen divisor; the specs retain the
+//! paper-scale vertex/edge counts so Tables 1–2 and the memory projections
+//! can be reproduced at full scale analytically.
+
+use crate::builder::{GraphBuilder, NeighborMode};
+use crate::csr::Graph;
+use crate::generators::grid::grid_road_edges;
+use crate::generators::rmat::{rmat_edges, RmatParams};
+
+/// Degree/diameter character of a dataset, selecting its generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalogKind {
+    /// Heavy-tailed degrees, small diameter (R-MAT).
+    Social,
+    /// Near-uniform low degree, huge diameter (sparse grid, weighted).
+    Road,
+}
+
+/// A paper dataset: its published size (Tables 1 and 2) plus the generator
+/// that produces its scaled analog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Dataset name as printed in the paper's tables.
+    pub name: &'static str,
+    /// Paper-scale vertex count.
+    pub vertices: u64,
+    /// Paper-scale edge count.
+    pub edges: u64,
+    /// Generator family.
+    pub kind: AnalogKind,
+}
+
+/// Wikipedia / dbpedia-link (Table 1).
+pub const WIKIPEDIA: DatasetSpec =
+    DatasetSpec { name: "Wikipedia", vertices: 18_268_992, edges: 172_183_984, kind: AnalogKind::Social };
+
+/// USA road network (Table 1).
+pub const USA_ROADS: DatasetSpec =
+    DatasetSpec { name: "USA Road network", vertices: 23_947_347, edges: 58_333_344, kind: AnalogKind::Road };
+
+/// Twitter (MPI) (Table 2).
+pub const TWITTER_MPI: DatasetSpec =
+    DatasetSpec { name: "Twitter (MPI)", vertices: 52_579_682, edges: 1_963_263_821, kind: AnalogKind::Social };
+
+/// Friendster (Table 2).
+pub const FRIENDSTER: DatasetSpec =
+    DatasetSpec { name: "Friendster", vertices: 68_349_466, edges: 2_586_147_869, kind: AnalogKind::Social };
+
+impl DatasetSpec {
+    /// Average out-degree at paper scale (preserved by the analogs).
+    pub fn avg_out_degree(&self) -> f64 {
+        self.edges as f64 / self.vertices as f64
+    }
+
+    /// Vertex/edge counts after dividing by `divisor` (at least 2 vertices).
+    pub fn scaled_counts(&self, divisor: u64) -> (u32, u64) {
+        assert!(divisor >= 1);
+        let n = (self.vertices / divisor).max(2);
+        let m = (self.edges / divisor).max(1);
+        (n as u32, m)
+    }
+
+    /// Build the scaled analog graph with **1-based identifiers** (like the
+    /// KONECT/DIMACS originals), triggering desolate-memory addressing.
+    pub fn analog_graph(&self, divisor: u64, seed: u64, mode: NeighborMode) -> Graph {
+        let (n, m) = self.scaled_counts(divisor);
+        match self.kind {
+            AnalogKind::Social => {
+                let edges = rmat_edges(n, m, RmatParams::GRAPH500, seed);
+                let mut b = GraphBuilder::with_capacity(mode, edges.len()).declare_id_range(1, n);
+                for (s, d) in edges {
+                    b.add_edge(s + 1, d + 1);
+                }
+                b.build().expect("generated analog must build")
+            }
+            AnalogKind::Road => {
+                // Pick grid dimensions with rows*cols ≈ n; the generator
+                // hits the dataset's average out-degree.
+                let rows = (f64::from(n).sqrt().floor() as u32).max(1);
+                let cols = n / rows;
+                let real_n = rows * cols;
+                let target = self.avg_out_degree();
+                let edges = grid_road_edges(rows, cols, target, 1000, seed);
+                let mut b =
+                    GraphBuilder::with_capacity(mode, edges.len()).declare_id_range(1, real_n);
+                for (s, d, w) in edges {
+                    b.add_weighted_edge(s + 1, d + 1, w);
+                }
+                b.build().expect("generated analog must build")
+            }
+        }
+    }
+
+    /// Analog of the paper's "synthetic graph described as X%": a graph
+    /// with `pct`% of this dataset's vertices and edges (then scaled by
+    /// `divisor`), used by the Figure 9 memory sweep.
+    pub fn percent_analog(&self, pct: u32, divisor: u64, seed: u64, mode: NeighborMode) -> Graph {
+        assert!(pct >= 1, "percent analog needs pct ≥ 1");
+        let scaled = DatasetSpec {
+            name: self.name,
+            vertices: self.vertices * u64::from(pct) / 100,
+            edges: self.edges * u64::from(pct) / 100,
+            kind: self.kind,
+        };
+        scaled.analog_graph(divisor, seed, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::AddressingMode;
+
+    #[test]
+    fn table1_and_table2_sizes_match_paper() {
+        assert_eq!(WIKIPEDIA.vertices, 18_268_992);
+        assert_eq!(WIKIPEDIA.edges, 172_183_984);
+        assert_eq!(USA_ROADS.vertices, 23_947_347);
+        assert_eq!(USA_ROADS.edges, 58_333_344);
+        assert_eq!(TWITTER_MPI.vertices, 52_579_682);
+        assert_eq!(TWITTER_MPI.edges, 1_963_263_821);
+        assert_eq!(FRIENDSTER.vertices, 68_349_466);
+        assert_eq!(FRIENDSTER.edges, 2_586_147_869);
+    }
+
+    #[test]
+    fn analog_preserves_edge_vertex_ratio() {
+        let g = WIKIPEDIA.analog_graph(2000, 1, NeighborMode::OutOnly);
+        let ratio = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!((ratio - WIKIPEDIA.avg_out_degree()).abs() / WIKIPEDIA.avg_out_degree() < 0.05);
+    }
+
+    #[test]
+    fn road_analog_is_sparse_and_weighted() {
+        let g = USA_ROADS.analog_graph(2000, 1, NeighborMode::OutOnly);
+        let ratio = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!((ratio - 2.44).abs() < 0.3, "road analog density {ratio}");
+        assert!(g.is_weighted());
+    }
+
+    #[test]
+    fn analogs_are_one_based_with_desolate_memory() {
+        let g = WIKIPEDIA.analog_graph(5000, 1, NeighborMode::OutOnly);
+        assert_eq!(g.address_map().base(), 1);
+        assert_eq!(g.address_map().mode(), AddressingMode::DesolateMemory);
+        assert_eq!(g.num_slots(), g.num_vertices() + 1);
+    }
+
+    #[test]
+    fn percent_analog_scales_linearly() {
+        let half = TWITTER_MPI.percent_analog(50, 20_000, 1, NeighborMode::OutOnly);
+        let full = TWITTER_MPI.percent_analog(100, 20_000, 1, NeighborMode::OutOnly);
+        let ratio = full.num_edges() as f64 / half.num_edges() as f64;
+        assert!((ratio - 2.0).abs() < 0.05, "edge ratio {ratio}");
+    }
+
+    #[test]
+    fn analogs_are_deterministic() {
+        let a = WIKIPEDIA.analog_graph(5000, 9, NeighborMode::OutOnly);
+        let b = WIKIPEDIA.analog_graph(5000, 9, NeighborMode::OutOnly);
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.out_neighbors(1), b.out_neighbors(1));
+    }
+}

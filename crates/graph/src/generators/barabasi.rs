@@ -1,0 +1,97 @@
+//! Barabási–Albert preferential-attachment generator.
+//!
+//! Grows a graph one vertex at a time, each newcomer attaching to `m`
+//! existing vertices with probability proportional to their current
+//! degree — the classic mechanism behind power-law social networks, and
+//! an independent check that the framework's behaviour on the R-MAT
+//! analogs is about skew, not about R-MAT specifically.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Undirected preferential-attachment edges over `0..n` with `m`
+/// attachments per new vertex (each edge returned once).
+pub fn barabasi_albert_edges(n: u32, m: u32, seed: u64) -> Vec<(u32, u32)> {
+    assert!(m >= 1, "each newcomer needs at least one attachment");
+    assert!(n > m, "need more vertices than attachments");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(((n - m) as usize) * (m as usize));
+    // Repeated-endpoints trick: sampling a uniform element of this list
+    // is sampling proportional to degree.
+    let mut endpoints: Vec<u32> = Vec::new();
+
+    // Seed clique over the first m+1 vertices.
+    for i in 0..=m {
+        for j in (i + 1)..=m {
+            edges.push((i, j));
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+
+    for v in (m + 1)..n {
+        let mut chosen = Vec::with_capacity(m as usize);
+        while chosen.len() < m as usize {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for t in chosen {
+            edges.push((v, t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_is_clique_plus_m_per_newcomer() {
+        let (n, m) = (100u32, 3u32);
+        let e = barabasi_albert_edges(n, m, 1);
+        let clique = (m as usize) * (m as usize + 1) / 2;
+        assert_eq!(e.len(), clique + ((n - m - 1) as usize) * m as usize);
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let n = 5000u32;
+        let e = barabasi_albert_edges(n, 2, 9);
+        let mut deg = vec![0u32; n as usize];
+        for &(u, v) in &e {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let avg = 2.0 * e.len() as f64 / n as f64;
+        let max = *deg.iter().max().unwrap() as f64;
+        assert!(max > 10.0 * avg, "max degree {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicate_attachments() {
+        let e = barabasi_albert_edges(200, 4, 5);
+        assert!(e.iter().all(|&(u, v)| u != v));
+        // A newcomer's m attachments are distinct.
+        let mut per_vertex: std::collections::HashMap<u32, Vec<u32>> = Default::default();
+        for &(u, v) in &e {
+            per_vertex.entry(u.max(v)).or_default().push(u.min(v));
+        }
+        for (v, mut ts) in per_vertex {
+            let before = ts.len();
+            ts.sort_unstable();
+            ts.dedup();
+            assert_eq!(ts.len(), before, "vertex {v} attached twice to a target");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(barabasi_albert_edges(60, 2, 4), barabasi_albert_edges(60, 2, 4));
+        assert_ne!(barabasi_albert_edges(60, 2, 4), barabasi_albert_edges(60, 2, 5));
+    }
+}

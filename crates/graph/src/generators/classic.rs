@@ -1,0 +1,82 @@
+//! Small deterministic graph shapes used throughout the test suites.
+
+/// Directed path `0 → 1 → … → n-1`.
+pub fn path_edges(n: u32) -> Vec<(u32, u32)> {
+    (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect()
+}
+
+/// Directed cycle `0 → 1 → … → n-1 → 0`.
+pub fn cycle_edges(n: u32) -> Vec<(u32, u32)> {
+    assert!(n >= 1);
+    (0..n).map(|i| (i, (i + 1) % n)).collect()
+}
+
+/// Star with centre 0 broadcasting to `1..n`.
+pub fn star_edges(n: u32) -> Vec<(u32, u32)> {
+    (1..n).map(|i| (0, i)).collect()
+}
+
+/// Complete directed graph on `n` vertices (no self-loops).
+pub fn complete_edges(n: u32) -> Vec<(u32, u32)> {
+    let mut e = Vec::with_capacity((n as usize) * (n as usize - 1));
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                e.push((i, j));
+            }
+        }
+    }
+    e
+}
+
+/// Complete binary tree with root 0, edges parent → child, `n` vertices.
+pub fn binary_tree_edges(n: u32) -> Vec<(u32, u32)> {
+    let mut e = Vec::new();
+    for i in 0..n {
+        for c in [2 * i + 1, 2 * i + 2] {
+            if c < n {
+                e.push((i, c));
+            }
+        }
+    }
+    e
+}
+
+/// Make every directed edge bidirectional (deduplicating nothing).
+pub fn symmetrize(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let mut out = Vec::with_capacity(edges.len() * 2);
+    for &(a, b) in edges {
+        out.push((a, b));
+        out.push((b, a));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_have_expected_sizes() {
+        assert_eq!(path_edges(5).len(), 4);
+        assert_eq!(cycle_edges(5).len(), 5);
+        assert_eq!(star_edges(5).len(), 4);
+        assert_eq!(complete_edges(4).len(), 12);
+        assert_eq!(binary_tree_edges(7).len(), 6);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(path_edges(1).is_empty());
+        assert!(path_edges(0).is_empty());
+        assert_eq!(cycle_edges(1), vec![(0, 0)]);
+        assert!(star_edges(1).is_empty());
+        assert!(binary_tree_edges(1).is_empty());
+    }
+
+    #[test]
+    fn symmetrize_doubles() {
+        let s = symmetrize(&path_edges(3));
+        assert_eq!(s, vec![(0, 1), (1, 0), (1, 2), (2, 1)]);
+    }
+}

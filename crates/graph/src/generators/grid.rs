@@ -1,0 +1,146 @@
+//! Road-network-like sparse grid generator.
+//!
+//! The USA road graph matters to the paper for two properties the
+//! Wikipedia graph lacks: very low density (average out-degree ≈ 2.4) and
+//! a huge diameter, which slows message propagation, multiplies
+//! supersteps, and is what lets selection bypass win by ×1400 on SSSP
+//! (Section 7.2). This generator reproduces both properties on a 2-D
+//! lattice:
+//!
+//! * a serpentine Hamiltonian path guarantees connectivity and a diameter
+//!   of Θ(rows × cols);
+//! * remaining lattice edges are sampled to hit a target average
+//!   out-degree (default 2.44, the USA road figure);
+//! * every kept undirected edge becomes two weighted arcs, as in the
+//!   DIMACS distance graphs.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Weighted arcs of a `rows × cols` road-like grid over 0-based vertices
+/// (`vertex = r * cols + c`), with average out-degree ≈ `target_out_degree`
+/// and uniform weights in `1..=max_weight`.
+pub fn grid_road_edges(
+    rows: u32,
+    cols: u32,
+    target_out_degree: f64,
+    max_weight: u32,
+    seed: u64,
+) -> Vec<(u32, u32, u32)> {
+    assert!(rows > 0 && cols > 0, "grid needs at least one cell");
+    assert!(max_weight >= 1, "weights start at 1");
+    let n = u64::from(rows) * u64::from(cols);
+    assert!(n <= u64::from(u32::MAX), "grid exceeds u32 vertex space");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vid = |r: u32, c: u32| r * cols + c;
+    let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+    let add_undirected = |edges: &mut Vec<(u32, u32, u32)>, a: u32, b: u32, w: u32| {
+        edges.push((a, b, w));
+        edges.push((b, a, w));
+    };
+
+    // 1. Serpentine backbone: (r,0)…(r,cols-1) then down, alternating
+    //    direction per row — a Hamiltonian path, so the graph is connected
+    //    and its diameter is on the order of n.
+    for r in 0..rows {
+        for c in 0..cols.saturating_sub(1) {
+            let w = rng.random_range(1..=max_weight);
+            add_undirected(&mut edges, vid(r, c), vid(r, c + 1), w);
+        }
+        if r + 1 < rows {
+            let c = if r % 2 == 0 { cols - 1 } else { 0 };
+            let w = rng.random_range(1..=max_weight);
+            add_undirected(&mut edges, vid(r, c), vid(r + 1, c), w);
+        }
+    }
+
+    // 2. Sample the remaining vertical lattice edges to reach the target
+    //    degree. The backbone contributes ~2 out-arcs per vertex; each
+    //    extra undirected edge contributes 2/n more on average.
+    let backbone_out_deg = edges.len() as f64 / n as f64;
+    let deficit = (target_out_degree - backbone_out_deg).max(0.0);
+    let candidates = u64::from(rows.saturating_sub(1)) * u64::from(cols) - u64::from(rows.saturating_sub(1));
+    let p = if candidates == 0 { 0.0 } else { (deficit * n as f64 / 2.0 / candidates as f64).min(1.0) };
+    if p > 0.0 {
+        for r in 0..rows.saturating_sub(1) {
+            for c in 0..cols {
+                // Skip the verticals the backbone already placed.
+                let backbone_col = if r % 2 == 0 { cols - 1 } else { 0 };
+                if c == backbone_col {
+                    continue;
+                }
+                if rng.random::<f64>() < p {
+                    let w = rng.random_range(1..=max_weight);
+                    add_undirected(&mut edges, vid(r, c), vid(r + 1, c), w);
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    fn reaches_all(n: u32, edges: &[(u32, u32, u32)]) -> bool {
+        let mut adj = vec![Vec::new(); n as usize];
+        for &(a, b, _) in edges {
+            adj[a as usize].push(b);
+        }
+        let mut seen = vec![false; n as usize];
+        let mut q = VecDeque::from([0u32]);
+        seen[0] = true;
+        while let Some(v) = q.pop_front() {
+            for &u in &adj[v as usize] {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    q.push_back(u);
+                }
+            }
+        }
+        seen.iter().all(|&s| s)
+    }
+
+    #[test]
+    fn grid_is_connected() {
+        let edges = grid_road_edges(20, 30, 2.44, 100, 13);
+        assert!(reaches_all(600, &edges));
+    }
+
+    #[test]
+    fn hits_target_degree_approximately() {
+        let edges = grid_road_edges(100, 100, 2.44, 1000, 21);
+        let avg = edges.len() as f64 / 10_000.0;
+        assert!((avg - 2.44).abs() < 0.25, "avg out-degree {avg} not ≈ 2.44");
+    }
+
+    #[test]
+    fn arcs_are_symmetric_with_equal_weights() {
+        let edges = grid_road_edges(5, 5, 3.0, 50, 2);
+        for chunk in edges.chunks(2) {
+            let (a, b) = (chunk[0], chunk[1]);
+            assert_eq!((a.0, a.1, a.2), (b.1, b.0, b.2));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(grid_road_edges(10, 10, 2.44, 10, 4), grid_road_edges(10, 10, 2.44, 10, 4));
+        assert_ne!(grid_road_edges(10, 10, 2.44, 10, 4), grid_road_edges(10, 10, 2.44, 10, 5));
+    }
+
+    #[test]
+    fn single_row_is_a_path() {
+        let edges = grid_road_edges(1, 4, 2.0, 1, 0);
+        assert_eq!(edges.len(), 6); // 3 undirected path edges → 6 arcs
+        assert!(reaches_all(4, &edges));
+    }
+
+    #[test]
+    fn weights_respect_bounds() {
+        let edges = grid_road_edges(8, 8, 2.44, 7, 9);
+        assert!(edges.iter().all(|&(_, _, w)| (1..=7).contains(&w)));
+    }
+}

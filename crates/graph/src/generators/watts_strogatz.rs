@@ -1,0 +1,76 @@
+//! Watts–Strogatz small-world generator.
+//!
+//! A ring lattice with random rewiring: high clustering with a diameter
+//! that collapses as the rewiring probability `beta` rises. The
+//! selection-bypass ablation uses it to sweep *diameter at fixed degree*
+//! — the exact axis the paper's Wikipedia-vs-USA contrast varies.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Undirected small-world edges (each returned once; symmetrise for a
+/// directed graph) over vertices `0..n`, each connected to `k` nearest
+/// ring neighbours, rewired with probability `beta`.
+pub fn watts_strogatz_edges(n: u32, k: u32, beta: f64, seed: u64) -> Vec<(u32, u32)> {
+    assert!(n >= 3, "ring needs at least 3 vertices");
+    assert!(k >= 2 && k % 2 == 0, "k must be even and ≥ 2");
+    assert!(u64::from(k) < u64::from(n), "k must be < n");
+    assert!((0.0..=1.0).contains(&beta), "beta is a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity((n as usize) * (k as usize) / 2);
+    for v in 0..n {
+        for j in 1..=k / 2 {
+            let neighbor = (v + j) % n;
+            if rng.random::<f64>() < beta {
+                // Rewire the far endpoint to a uniform non-self target.
+                loop {
+                    let t = rng.random_range(0..n);
+                    if t != v {
+                        edges.push((v, t));
+                        break;
+                    }
+                }
+            } else {
+                edges.push((v, neighbor));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrewired_ring_is_regular() {
+        let e = watts_strogatz_edges(10, 4, 0.0, 1);
+        assert_eq!(e.len(), 20);
+        // Without rewiring every edge spans ring distance 1 or 2.
+        for (u, v) in e {
+            let d = (v + 10 - u) % 10;
+            assert!(d == 1 || d == 2, "({u},{v})");
+        }
+    }
+
+    #[test]
+    fn full_rewiring_breaks_the_lattice() {
+        let e = watts_strogatz_edges(1000, 4, 1.0, 2);
+        let lattice_like =
+            e.iter().filter(|&&(u, v)| (v + 1000 - u) % 1000 <= 2).count();
+        assert!(lattice_like < e.len() / 10, "{lattice_like} lattice edges survived");
+    }
+
+    #[test]
+    fn no_self_loops() {
+        for beta in [0.0, 0.5, 1.0] {
+            assert!(watts_strogatz_edges(50, 6, beta, 3).iter().all(|&(u, v)| u != v));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(watts_strogatz_edges(30, 4, 0.3, 7), watts_strogatz_edges(30, 4, 0.3, 7));
+        assert_ne!(watts_strogatz_edges(30, 4, 0.3, 7), watts_strogatz_edges(30, 4, 0.3, 8));
+    }
+}

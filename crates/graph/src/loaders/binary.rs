@@ -1,0 +1,174 @@
+//! A compact binary graph cache format (`IPGB`).
+//!
+//! Generating the synthetic stand-ins for the paper's datasets is
+//! deterministic but not free; the benchmark harness caches them on disk
+//! in this little-endian format:
+//!
+//! ```text
+//! magic   4 bytes  "IPGB"
+//! version u32      1
+//! flags   u32      bit 0: weighted
+//! base    u32      smallest external identifier
+//! n       u32      number of vertices
+//! m       u64      number of edges
+//! edges   m × (u32 src, u32 dst)           external identifiers
+//! weights m × u32                          only when weighted
+//! ```
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::builder::{GraphBuilder, NeighborMode};
+use crate::csr::Graph;
+use crate::error::GraphError;
+
+const MAGIC: &[u8; 4] = b"IPGB";
+const VERSION: u32 = 1;
+const FLAG_WEIGHTED: u32 = 1;
+
+/// Serialise `edges` (external ids) with optional weights.
+///
+/// The writer takes raw edges rather than a [`Graph`] so a cached file
+/// round-trips bit-exactly regardless of neighbour mode or addressing.
+pub fn write_binary<W: Write>(
+    mut w: W,
+    base: u32,
+    num_vertices: u32,
+    edges: &[(u32, u32)],
+    weights: Option<&[u32]>,
+) -> Result<(), GraphError> {
+    if let Some(ws) = weights {
+        if ws.len() != edges.len() {
+            return Err(GraphError::MixedWeightedness);
+        }
+    }
+    let mut buf = BytesMut::with_capacity(28 + edges.len() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(if weights.is_some() { FLAG_WEIGHTED } else { 0 });
+    buf.put_u32_le(base);
+    buf.put_u32_le(num_vertices);
+    buf.put_u64_le(edges.len() as u64);
+    w.write_all(&buf)?;
+    // Stream edges in chunks to bound peak memory on billion-edge graphs.
+    let mut chunk = BytesMut::with_capacity(8 << 20);
+    for &(s, d) in edges {
+        chunk.put_u32_le(s);
+        chunk.put_u32_le(d);
+        if chunk.len() >= (8 << 20) - 8 {
+            w.write_all(&chunk)?;
+            chunk.clear();
+        }
+    }
+    w.write_all(&chunk)?;
+    chunk.clear();
+    if let Some(ws) = weights {
+        for &x in ws {
+            chunk.put_u32_le(x);
+            if chunk.len() >= (8 << 20) - 4 {
+                w.write_all(&chunk)?;
+                chunk.clear();
+            }
+        }
+        w.write_all(&chunk)?;
+    }
+    Ok(())
+}
+
+/// Deserialise an `IPGB` stream into a [`Graph`].
+pub fn read_binary<R: Read>(mut r: R, mode: NeighborMode) -> Result<Graph, GraphError> {
+    let mut header = [0u8; 28];
+    r.read_exact(&mut header).map_err(|_| GraphError::BadBinary("truncated header".into()))?;
+    let mut h = Bytes::copy_from_slice(&header);
+    let mut magic = [0u8; 4];
+    h.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::BadBinary(format!("bad magic {magic:?}")));
+    }
+    let version = h.get_u32_le();
+    if version != VERSION {
+        return Err(GraphError::BadBinary(format!("unsupported version {version}")));
+    }
+    let flags = h.get_u32_le();
+    let weighted = flags & FLAG_WEIGHTED != 0;
+    let base = h.get_u32_le();
+    let n = h.get_u32_le();
+    let m = h.get_u64_le();
+    if m > usize::MAX as u64 / 8 {
+        return Err(GraphError::BadBinary(format!("implausible edge count {m}")));
+    }
+
+    let mut edge_bytes = vec![0u8; (m as usize) * 8];
+    r.read_exact(&mut edge_bytes).map_err(|_| GraphError::BadBinary("truncated edges".into()))?;
+    let mut weight_bytes = Vec::new();
+    if weighted {
+        weight_bytes.resize((m as usize) * 4, 0);
+        r.read_exact(&mut weight_bytes)
+            .map_err(|_| GraphError::BadBinary("truncated weights".into()))?;
+    }
+
+    let mut b = GraphBuilder::with_capacity(mode, m as usize).declare_id_range(base, n);
+    let mut eb = &edge_bytes[..];
+    let mut wb = &weight_bytes[..];
+    for _ in 0..m {
+        let s = eb.get_u32_le();
+        let d = eb.get_u32_le();
+        if weighted {
+            b.add_weighted_edge(s, d, wb.get_u32_le());
+        } else {
+            b.add_edge(s, d);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_unweighted() {
+        let edges = vec![(1u32, 2u32), (2, 3), (3, 1), (1, 3)];
+        let mut file = Vec::new();
+        write_binary(&mut file, 1, 3, &edges, None).unwrap();
+        let g = read_binary(&file[..], NeighborMode::Both).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(g.index_of(1)), &[g.index_of(2), g.index_of(3)]);
+    }
+
+    #[test]
+    fn round_trips_weighted() {
+        let edges = vec![(0u32, 1u32), (1, 0)];
+        let weights = vec![11, 22];
+        let mut file = Vec::new();
+        write_binary(&mut file, 0, 2, &edges, Some(&weights)).unwrap();
+        let g = read_binary(&file[..], NeighborMode::OutOnly).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.out_weights(0).unwrap(), &[11]);
+        assert_eq!(g.out_weights(1).unwrap(), &[22]);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let r = read_binary(&b"NOPE\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0"[..], NeighborMode::OutOnly);
+        assert!(matches!(r, Err(GraphError::BadBinary(_))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let edges = vec![(0u32, 1u32); 16];
+        let mut file = Vec::new();
+        write_binary(&mut file, 0, 2, &edges, None).unwrap();
+        file.truncate(file.len() - 5);
+        let r = read_binary(&file[..], NeighborMode::OutOnly);
+        assert!(matches!(r, Err(GraphError::BadBinary(_))));
+    }
+
+    #[test]
+    fn weight_length_mismatch_is_rejected() {
+        let r = write_binary(Vec::new(), 0, 2, &[(0, 1), (1, 0)], Some(&[7]));
+        assert!(matches!(r, Err(GraphError::MixedWeightedness)));
+    }
+}

@@ -1,0 +1,98 @@
+//! Plain whitespace-separated edge lists (the SNAP collection format).
+//!
+//! Each non-comment line is `src dst` or `src dst weight`. Lines starting
+//! with `#`, `%` or `//` are comments. Mixing weighted and unweighted
+//! lines is an error.
+
+use std::io::BufRead;
+
+use crate::builder::{GraphBuilder, NeighborMode};
+use crate::csr::Graph;
+use crate::error::GraphError;
+
+/// Parse an edge-list stream into a [`Graph`].
+pub fn load_edge_list<R: BufRead>(reader: R, mode: NeighborMode) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(mode);
+    let mut weighted: Option<bool> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') || t.starts_with("//") {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let src = parse_id(it.next(), lineno + 1, "source id")?;
+        let dst = parse_id(it.next(), lineno + 1, "target id")?;
+        match it.next() {
+            Some(w) => {
+                if weighted == Some(false) {
+                    return Err(GraphError::MixedWeightedness);
+                }
+                weighted = Some(true);
+                let w = w.parse::<u32>().map_err(|e| GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad weight {w:?}: {e}"),
+                })?;
+                b.add_weighted_edge(src, dst, w);
+            }
+            None => {
+                if weighted == Some(true) {
+                    return Err(GraphError::MixedWeightedness);
+                }
+                weighted = Some(false);
+                b.add_edge(src, dst);
+            }
+        }
+    }
+    b.build()
+}
+
+fn parse_id(tok: Option<&str>, line: usize, what: &str) -> Result<u32, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
+    tok.parse::<u32>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("bad {what} {tok:?}: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# SNAP header\n% konect-style comment\n\n0 1\n1 2\n// trailing comment\n2 0\n";
+        let g = load_edge_list(Cursor::new(text), NeighborMode::OutOnly).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn parses_weights() {
+        let g = load_edge_list(Cursor::new("0 1 7\n1 0 9\n"), NeighborMode::OutOnly).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.out_weights(0).unwrap(), &[7]);
+    }
+
+    #[test]
+    fn rejects_mixed_weightedness() {
+        let r = load_edge_list(Cursor::new("0 1 7\n1 0\n"), NeighborMode::OutOnly);
+        assert!(matches!(r, Err(GraphError::MixedWeightedness)));
+    }
+
+    #[test]
+    fn reports_line_numbers_on_garbage() {
+        let r = load_edge_list(Cursor::new("0 1\nx y\n"), NeighborMode::OutOnly);
+        match r {
+            Err(GraphError::Parse { line: 2, .. }) => {}
+            other => panic!("expected parse error at line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph_error() {
+        let r = load_edge_list(Cursor::new("# only comments\n"), NeighborMode::OutOnly);
+        assert!(matches!(r, Err(GraphError::EmptyGraph)));
+    }
+}

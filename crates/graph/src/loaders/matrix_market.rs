@@ -1,0 +1,196 @@
+//! Matrix Market (`.mtx`) coordinate-format loader.
+//!
+//! The SuiteSparse collection — a common source of benchmark graphs —
+//! distributes adjacency matrices in this format. Supported header:
+//! `%%MatrixMarket matrix coordinate <real|integer|pattern>
+//! <general|symmetric>`; `symmetric` entries are mirrored (off-diagonal
+//! only), `pattern` means unweighted, and real weights are rounded to
+//! the integral `Weight` type (negative or fractional weights are
+//! rejected — shortest-path semantics need non-negative integers).
+//! Identifiers are 1-based, as in DIMACS.
+
+use std::io::BufRead;
+
+use crate::builder::{GraphBuilder, NeighborMode};
+use crate::csr::Graph;
+use crate::error::GraphError;
+
+/// Parse a Matrix Market coordinate stream into a [`Graph`].
+pub fn load_matrix_market<R: BufRead>(reader: R, mode: NeighborMode) -> Result<Graph, GraphError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Header line.
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| GraphError::Parse { line: 1, message: "empty file".into() })?;
+    let header = header?;
+    let h: Vec<&str> = header.split_whitespace().collect();
+    if h.len() < 5 || !h[0].eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(GraphError::Parse { line: 1, message: format!("bad header {header:?}") });
+    }
+    if !h[1].eq_ignore_ascii_case("matrix") || !h[2].eq_ignore_ascii_case("coordinate") {
+        return Err(GraphError::Parse {
+            line: 1,
+            message: "only `matrix coordinate` files are supported".into(),
+        });
+    }
+    let weighted = match h[3].to_ascii_lowercase().as_str() {
+        "pattern" => false,
+        "real" | "integer" => true,
+        other => {
+            return Err(GraphError::Parse {
+                line: 1,
+                message: format!("unsupported field type {other:?}"),
+            })
+        }
+    };
+    let symmetric = match h[4].to_ascii_lowercase().as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(GraphError::Parse {
+                line: 1,
+                message: format!("unsupported symmetry {other:?}"),
+            })
+        }
+    };
+
+    // Size line (after % comments), then entries.
+    let mut builder: Option<GraphBuilder> = None;
+    for (lineno, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        match &mut builder {
+            None => {
+                let rows = parse_u32(it.next(), lineno + 1, "rows")?;
+                let cols = parse_u32(it.next(), lineno + 1, "cols")?;
+                let nnz = parse_u32(it.next(), lineno + 1, "nnz")?;
+                if rows != cols {
+                    return Err(GraphError::Parse {
+                        line: lineno + 1,
+                        message: format!("adjacency matrix must be square, got {rows}x{cols}"),
+                    });
+                }
+                let mut b = GraphBuilder::with_capacity(mode, nnz as usize);
+                b = b.declare_id_range(1, rows);
+                builder = Some(b);
+            }
+            Some(b) => {
+                let row = parse_u32(it.next(), lineno + 1, "row")?;
+                let col = parse_u32(it.next(), lineno + 1, "col")?;
+                if weighted {
+                    let raw = it.next().ok_or_else(|| GraphError::Parse {
+                        line: lineno + 1,
+                        message: "missing value".into(),
+                    })?;
+                    let value: f64 = raw.parse().map_err(|e| GraphError::Parse {
+                        line: lineno + 1,
+                        message: format!("bad value {raw:?}: {e}"),
+                    })?;
+                    if value < 0.0 || value.fract() != 0.0 || value > f64::from(u32::MAX) {
+                        return Err(GraphError::Parse {
+                            line: lineno + 1,
+                            message: format!(
+                                "weight {value} is not a non-negative integer (shortest-path \
+                                 weights must be)"
+                            ),
+                        });
+                    }
+                    b.add_weighted_edge(row, col, value as u32);
+                    if symmetric && row != col {
+                        b.add_weighted_edge(col, row, value as u32);
+                    }
+                } else {
+                    b.add_edge(row, col);
+                    if symmetric && row != col {
+                        b.add_edge(col, row);
+                    }
+                }
+            }
+        }
+    }
+    builder.ok_or(GraphError::EmptyGraph)?.build()
+}
+
+fn parse_u32(tok: Option<&str>, line: usize, what: &str) -> Result<u32, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
+    tok.parse::<u32>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("bad {what} {tok:?}: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_pattern_general() {
+        let mtx = "%%MatrixMarket matrix coordinate pattern general\n% comment\n3 3 3\n1 2\n2 3\n3 1\n";
+        let g = load_matrix_market(Cursor::new(mtx), NeighborMode::OutOnly).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.is_weighted());
+    }
+
+    #[test]
+    fn symmetric_entries_are_mirrored() {
+        let mtx = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n";
+        let g = load_matrix_market(Cursor::new(mtx), NeighborMode::OutOnly).unwrap();
+        assert_eq!(g.num_edges(), 4);
+        let v1 = g.index_of(1);
+        assert_eq!(g.out_neighbors(v1), &[g.index_of(2)]);
+    }
+
+    #[test]
+    fn diagonal_of_symmetric_is_not_doubled() {
+        let mtx = "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 2\n1 1\n2 1\n";
+        let g = load_matrix_market(Cursor::new(mtx), NeighborMode::OutOnly).unwrap();
+        assert_eq!(g.num_edges(), 3); // self-loop once + mirrored pair
+    }
+
+    #[test]
+    fn integer_weights_load() {
+        let mtx = "%%MatrixMarket matrix coordinate integer general\n2 2 2\n1 2 7\n2 1 9\n";
+        let g = load_matrix_market(Cursor::new(mtx), NeighborMode::OutOnly).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.out_weights(g.index_of(1)).unwrap(), &[7]);
+    }
+
+    #[test]
+    fn real_weights_must_be_integral_nonnegative() {
+        let fractional = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 0.5\n";
+        assert!(matches!(
+            load_matrix_market(Cursor::new(fractional), NeighborMode::OutOnly),
+            Err(GraphError::Parse { .. })
+        ));
+        let negative = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 -3\n";
+        assert!(matches!(
+            load_matrix_market(Cursor::new(negative), NeighborMode::OutOnly),
+            Err(GraphError::Parse { .. })
+        ));
+        let integral = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3\n";
+        assert!(load_matrix_market(Cursor::new(integral), NeighborMode::OutOnly).is_ok());
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let mtx = "%%MatrixMarket matrix coordinate pattern general\n3 2 1\n1 2\n";
+        assert!(matches!(
+            load_matrix_market(Cursor::new(mtx), NeighborMode::OutOnly),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        assert!(load_matrix_market(Cursor::new("nope\n1 1 0\n"), NeighborMode::OutOnly).is_err());
+        let arr = "%%MatrixMarket matrix array real general\n";
+        assert!(load_matrix_market(Cursor::new(arr), NeighborMode::OutOnly).is_err());
+    }
+}

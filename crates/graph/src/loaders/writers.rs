@@ -1,0 +1,118 @@
+//! Exporters: write a [`Graph`] back out in the text formats the loaders
+//! read, so cleaned/generated graphs can be shared with other tools (or
+//! with the original C iPregel).
+
+use std::io::{self, Write};
+
+use crate::csr::Graph;
+
+/// Write as a plain edge list (`src dst` or `src dst weight` per line),
+/// in external identifiers, source-major order.
+pub fn write_edge_list<W: Write>(mut w: W, g: &Graph) -> io::Result<()> {
+    let map = g.address_map();
+    for v in map.live_slots() {
+        let neighbors = g.out_neighbors(v);
+        match g.out_weights(v) {
+            Some(ws) => {
+                for (&u, &wt) in neighbors.iter().zip(ws) {
+                    writeln!(w, "{} {} {}", map.id_of(v), map.id_of(u), wt)?;
+                }
+            }
+            None => {
+                for &u in neighbors {
+                    writeln!(w, "{} {}", map.id_of(v), map.id_of(u))?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Write as DIMACS `.gr` (requires a weighted graph; unweighted edges
+/// are emitted with weight 1). Identifiers are shifted to the 1-based
+/// space DIMACS expects when the graph is 0-based.
+pub fn write_dimacs_gr<W: Write>(mut w: W, g: &Graph) -> io::Result<()> {
+    let map = g.address_map();
+    let shift = u32::from(map.base() == 0);
+    writeln!(w, "c written by ipregel-graph")?;
+    writeln!(w, "p sp {} {}", g.num_vertices(), g.num_edges())?;
+    for v in map.live_slots() {
+        let neighbors = g.out_neighbors(v);
+        let weights = g.out_weights(v);
+        for (i, &u) in neighbors.iter().enumerate() {
+            let wt = weights.map_or(1, |ws| ws[i]);
+            writeln!(w, "a {} {} {}", map.id_of(v) + shift, map.id_of(u) + shift, wt)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{GraphBuilder, NeighborMode};
+    use crate::loaders::{load_dimacs_gr, load_edge_list};
+    use std::io::Cursor;
+
+    #[test]
+    fn edge_list_round_trips() {
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        for (u, v) in [(0, 1), (1, 2), (2, 0)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build().unwrap();
+        let mut text = Vec::new();
+        write_edge_list(&mut text, &g).unwrap();
+        let g2 = load_edge_list(Cursor::new(text), NeighborMode::OutOnly).unwrap();
+        assert_eq!(g2.num_vertices(), 3);
+        assert_eq!(g2.out_neighbors(0), g.out_neighbors(0));
+    }
+
+    #[test]
+    fn weighted_edge_list_round_trips() {
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        b.add_weighted_edge(0, 1, 5);
+        b.add_weighted_edge(1, 0, 7);
+        let g = b.build().unwrap();
+        let mut text = Vec::new();
+        write_edge_list(&mut text, &g).unwrap();
+        let g2 = load_edge_list(Cursor::new(text), NeighborMode::OutOnly).unwrap();
+        assert!(g2.is_weighted());
+        assert_eq!(g2.out_weights(0).unwrap(), &[5]);
+    }
+
+    #[test]
+    fn dimacs_round_trips_with_id_shift() {
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        b.add_weighted_edge(0, 1, 10);
+        b.add_weighted_edge(1, 2, 20);
+        let g = b.build().unwrap();
+        let mut text = Vec::new();
+        write_dimacs_gr(&mut text, &g).unwrap();
+        let g2 = load_dimacs_gr(Cursor::new(text), NeighborMode::OutOnly).unwrap();
+        assert_eq!(g2.num_vertices(), 3);
+        // 0-based vertex 0 became DIMACS vertex 1.
+        assert_eq!(g2.out_weights(g2.index_of(1)).unwrap(), &[10]);
+    }
+
+    #[test]
+    fn one_based_graphs_are_not_double_shifted() {
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        b.add_weighted_edge(1, 2, 3);
+        let g = b.build().unwrap();
+        let mut text = Vec::new();
+        write_dimacs_gr(&mut text, &g).unwrap();
+        let s = String::from_utf8(text).unwrap();
+        assert!(s.contains("a 1 2 3"), "{s}");
+    }
+
+    #[test]
+    fn unweighted_dimacs_export_uses_unit_weights() {
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        let mut text = Vec::new();
+        write_dimacs_gr(&mut text, &g).unwrap();
+        assert!(String::from_utf8(text).unwrap().contains("a 1 2 1"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Whole-graph transformations.
+//!
+//! iPregel processes static graphs (Section 3.3); real datasets need
+//! cleaning *before* they become static — KONECT's undirected files list
+//! each edge once, crawls carry duplicate and self-loop edges, and
+//! analyses like k-core or Hashmin-as-connected-components want the
+//! symmetrised graph. These helpers operate on raw edge lists (the form
+//! loaders and generators produce) so a cleaned graph is built exactly
+//! once.
+
+use std::collections::HashMap;
+
+use crate::csr::{Graph, Weight};
+use crate::ids::VertexId;
+
+/// Add the reverse of every edge (weights copied). Does not deduplicate.
+pub fn symmetrize(edges: &mut Vec<(VertexId, VertexId)>) {
+    let n = edges.len();
+    edges.reserve(n);
+    for i in 0..n {
+        let (u, v) = edges[i];
+        edges.push((v, u));
+    }
+}
+
+/// Weighted variant of [`symmetrize`].
+pub fn symmetrize_weighted(edges: &mut Vec<(VertexId, VertexId, Weight)>) {
+    let n = edges.len();
+    edges.reserve(n);
+    for i in 0..n {
+        let (u, v, w) = edges[i];
+        edges.push((v, u, w));
+    }
+}
+
+/// Remove self-loops in place, preserving order.
+pub fn remove_self_loops(edges: &mut Vec<(VertexId, VertexId)>) {
+    edges.retain(|&(u, v)| u != v);
+}
+
+/// Remove duplicate directed edges, keeping first occurrences in order.
+pub fn dedup_edges(edges: &mut Vec<(VertexId, VertexId)>) {
+    let mut seen = std::collections::HashSet::with_capacity(edges.len());
+    edges.retain(|&e| seen.insert(e));
+}
+
+/// Reverse every edge (transpose the graph).
+pub fn reverse_edges(edges: &mut [(VertexId, VertexId)]) {
+    for e in edges.iter_mut() {
+        *e = (e.1, e.0);
+    }
+}
+
+/// Renumber arbitrary (possibly sparse) identifiers to the compact range
+/// `0..k` in first-appearance order, returning the old→new mapping —
+/// how a dataset violating the paper's consecutive-ids requirement
+/// (Section 3.3) is made admissible.
+pub fn compact_ids(edges: &mut [(VertexId, VertexId)]) -> HashMap<VertexId, VertexId> {
+    let mut remap: HashMap<VertexId, VertexId> = HashMap::new();
+    for e in edges.iter_mut() {
+        let next = remap.len() as VertexId;
+        let u = *remap.entry(e.0).or_insert(next);
+        let next = remap.len() as VertexId;
+        let v = *remap.entry(e.1).or_insert(next);
+        *e = (u, v);
+    }
+    remap
+}
+
+/// Keep only edges inside the largest weakly-connected component of an
+/// already-built graph, returned as a fresh edge list in external ids.
+/// (Weak connectivity = connectivity of the symmetrised graph.)
+pub fn largest_component_edges(g: &Graph) -> Vec<(VertexId, VertexId)> {
+    assert!(g.has_out_edges(), "largest_component_edges walks out-adjacency");
+    let map = g.address_map();
+    let slots = g.num_slots();
+    // Union-find over the symmetrised edge set.
+    let mut parent: Vec<u32> = (0..slots as u32).collect();
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            parent[v as usize] = parent[parent[v as usize] as usize];
+            v = parent[v as usize];
+        }
+        v
+    }
+    for v in map.live_slots() {
+        for &u in g.out_neighbors(v) {
+            let (a, b) = (find(&mut parent, v), find(&mut parent, u));
+            if a != b {
+                parent[a as usize] = b;
+            }
+        }
+    }
+    let mut size: HashMap<u32, u64> = HashMap::new();
+    for v in map.live_slots() {
+        *size.entry(find(&mut parent, v)).or_default() += 1;
+    }
+    let Some((&biggest, _)) = size.iter().max_by_key(|(_, &s)| s) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for v in map.live_slots() {
+        if find(&mut parent, v) == biggest {
+            for &u in g.out_neighbors(v) {
+                out.push((map.id_of(v), map.id_of(u)));
+            }
+        }
+    }
+    out
+}
+
+/// Edges of the subgraph induced by the vertices satisfying `keep`
+/// (both endpoints must satisfy it), in external ids.
+pub fn induced_subgraph_edges(
+    g: &Graph,
+    keep: impl Fn(VertexId) -> bool,
+) -> Vec<(VertexId, VertexId)> {
+    assert!(g.has_out_edges(), "induced_subgraph_edges walks out-adjacency");
+    let map = g.address_map();
+    let mut out = Vec::new();
+    for v in map.live_slots() {
+        let vid = map.id_of(v);
+        if !keep(vid) {
+            continue;
+        }
+        for &u in g.out_neighbors(v) {
+            let uid = map.id_of(u);
+            if keep(uid) {
+                out.push((vid, uid));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{GraphBuilder, NeighborMode};
+
+    #[test]
+    fn symmetrize_appends_reversals() {
+        let mut e = vec![(0, 1), (2, 3)];
+        symmetrize(&mut e);
+        assert_eq!(e, vec![(0, 1), (2, 3), (1, 0), (3, 2)]);
+    }
+
+    #[test]
+    fn symmetrize_weighted_copies_weights() {
+        let mut e = vec![(0, 1, 9)];
+        symmetrize_weighted(&mut e);
+        assert_eq!(e, vec![(0, 1, 9), (1, 0, 9)]);
+    }
+
+    #[test]
+    fn self_loops_are_removed() {
+        let mut e = vec![(0, 0), (0, 1), (1, 1), (1, 0)];
+        remove_self_loops(&mut e);
+        assert_eq!(e, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn dedup_keeps_first_occurrence() {
+        let mut e = vec![(0, 1), (1, 2), (0, 1), (1, 2), (2, 0)];
+        dedup_edges(&mut e);
+        assert_eq!(e, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn reverse_transposes() {
+        let mut e = vec![(0, 1), (2, 3)];
+        reverse_edges(&mut e);
+        assert_eq!(e, vec![(1, 0), (3, 2)]);
+    }
+
+    #[test]
+    fn compact_ids_renumbers_densely() {
+        let mut e = vec![(100, 5000), (5000, 42), (100, 42)];
+        let remap = compact_ids(&mut e);
+        assert_eq!(e, vec![(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(remap[&100], 0);
+        assert_eq!(remap[&5000], 1);
+        assert_eq!(remap[&42], 2);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        // Component {0,1,2} with 3 edges; component {3,4} with 1.
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build().unwrap();
+        let mut kept = largest_component_edges(&g);
+        kept.sort();
+        assert_eq!(kept, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn largest_component_is_weakly_connected() {
+        // 0→1←2: weakly one component despite no directed path 0→2.
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        b.add_edge(0, 1);
+        b.add_edge(2, 1);
+        b.add_edge(3, 4); // smaller component
+        let g = b.build().unwrap();
+        let kept = largest_component_edges(&g);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build().unwrap();
+        // Keep {1,2,3}: edges touching vertex 0 are dropped.
+        let mut kept = induced_subgraph_edges(&g, |id| id >= 1);
+        kept.sort();
+        assert_eq!(kept, vec![(1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn cleaned_edges_build_into_engineable_graphs() {
+        let mut e = vec![(7u32, 7u32), (7, 9), (9, 7), (7, 9)];
+        remove_self_loops(&mut e);
+        dedup_edges(&mut e);
+        compact_ids(&mut e);
+        let mut b = GraphBuilder::new(NeighborMode::Both);
+        for (u, v) in e {
+            b.add_edge(u, v);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 2);
+    }
+}

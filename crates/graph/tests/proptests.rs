@@ -1,0 +1,203 @@
+//! Property tests over the graph substrate: builder/CSR invariants,
+//! addressing laws, loader/writer round-trips, transform algebra.
+
+use std::collections::HashSet;
+use std::io::Cursor;
+
+use ipregel_graph::builder::AddressingChoice;
+use ipregel_graph::loaders::{
+    load_edge_list, read_binary, write_binary, write_edge_list,
+};
+use ipregel_graph::transform::{compact_ids, dedup_edges, remove_self_loops, reverse_edges, symmetrize};
+use ipregel_graph::{AddressMap, AddressingMode, GraphBuilder, NeighborMode};
+use proptest::prelude::*;
+
+fn arb_edges() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..200, 0u32..200), 1..400)
+}
+
+fn arb_based_edges() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (0u32..5000, arb_edges()).prop_map(|(base, edges)| {
+        (base, edges.into_iter().map(|(u, v)| (u + base, v + base)).collect())
+    })
+}
+
+fn build(edges: &[(u32, u32)], mode: NeighborMode) -> ipregel_graph::Graph {
+    let mut b = GraphBuilder::new(mode);
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build().expect("non-empty edge lists build")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn csr_preserves_every_edge((base, edges) in arb_based_edges()) {
+        let g = build(&edges, NeighborMode::OutOnly);
+        prop_assert_eq!(g.num_edges(), edges.len() as u64);
+        // Multiset of edges in == multiset out.
+        let mut expect: Vec<(u32, u32)> = edges.clone();
+        expect.sort_unstable();
+        let mut got = Vec::new();
+        for v in g.address_map().live_slots() {
+            for &u in g.out_neighbors(v) {
+                got.push((g.id_of(v), g.id_of(u)));
+            }
+        }
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+        let _ = base;
+    }
+
+    #[test]
+    fn in_csr_is_the_transpose((_, edges) in arb_based_edges()) {
+        let g = build(&edges, NeighborMode::Both);
+        let mut fwd = Vec::new();
+        let mut bwd = Vec::new();
+        for v in g.address_map().live_slots() {
+            for &u in g.out_neighbors(v) {
+                fwd.push((v, u));
+            }
+            for &u in g.in_neighbors(v) {
+                bwd.push((u, v));
+            }
+        }
+        fwd.sort_unstable();
+        bwd.sort_unstable();
+        prop_assert_eq!(fwd, bwd);
+    }
+
+    #[test]
+    fn degrees_sum_to_edge_count((_, edges) in arb_based_edges()) {
+        let g = build(&edges, NeighborMode::Both);
+        let out_sum: u64 = g.address_map().live_slots().map(|v| u64::from(g.out_degree(v))).sum();
+        let in_sum: u64 = g.address_map().live_slots().map(|v| u64::from(g.in_degree(v))).sum();
+        prop_assert_eq!(out_sum, g.num_edges());
+        prop_assert_eq!(in_sum, g.num_edges());
+    }
+
+    #[test]
+    fn addressing_round_trips(base in 0u32..1_000_000, n in 1u32..10_000) {
+        for map in [
+            AddressMap::offset(base, n),
+            AddressMap::desolate(base.min(2048), n),
+        ] {
+            for id in [map.base(), map.base() + n / 2, map.base() + n - 1] {
+                prop_assert_eq!(map.id_of(map.index_of(id)), id);
+                prop_assert!(map.contains(id));
+            }
+            prop_assert!(!map.contains(map.base().wrapping_sub(1)) || map.base() == 0);
+            prop_assert_eq!(map.slots(), map.num_vertices() as usize + map.wasted_slots());
+        }
+    }
+
+    #[test]
+    fn forced_addressing_modes_agree_on_topology((_, edges) in arb_based_edges()) {
+        let modes = [
+            AddressingChoice::Force(AddressingMode::Offset),
+            AddressingChoice::Force(AddressingMode::DesolateMemory),
+        ];
+        let graphs: Vec<_> = modes
+            .iter()
+            .map(|&c| {
+                let mut b = GraphBuilder::new(NeighborMode::OutOnly).addressing(c);
+                for &(u, v) in &edges {
+                    b.add_edge(u, v);
+                }
+                b.build().unwrap()
+            })
+            .collect();
+        let (a, b) = (&graphs[0], &graphs[1]);
+        prop_assert_eq!(a.num_vertices(), b.num_vertices());
+        for slot in a.address_map().live_slots() {
+            let id = a.id_of(slot);
+            let na: Vec<u32> = a.out_neighbors(a.index_of(id)).iter().map(|&x| a.id_of(x)).collect();
+            let nb: Vec<u32> = b.out_neighbors(b.index_of(id)).iter().map(|&x| b.id_of(x)).collect();
+            prop_assert_eq!(na, nb, "vertex {}", id);
+        }
+    }
+
+    #[test]
+    fn binary_format_round_trips((base, edges) in arb_based_edges()) {
+        let max = edges.iter().map(|&(u, v)| u.max(v)).max().unwrap();
+        let n = max - base + 1;
+        let mut file = Vec::new();
+        write_binary(&mut file, base, n, &edges, None).unwrap();
+        let g = read_binary(&file[..], NeighborMode::OutOnly).unwrap();
+        let direct = build(&edges, NeighborMode::OutOnly);
+        prop_assert_eq!(g.num_edges(), direct.num_edges());
+        for slot in direct.address_map().live_slots() {
+            let id = direct.id_of(slot);
+            let a: Vec<u32> = direct.out_neighbors(slot).iter().map(|&x| direct.id_of(x)).collect();
+            let b: Vec<u32> = g.out_neighbors(g.index_of(id)).iter().map(|&x| g.id_of(x)).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn text_writer_round_trips((_, edges) in arb_based_edges()) {
+        let g = build(&edges, NeighborMode::OutOnly);
+        let mut text = Vec::new();
+        write_edge_list(&mut text, &g).unwrap();
+        let g2 = load_edge_list(Cursor::new(text), NeighborMode::OutOnly).unwrap();
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+    }
+
+    #[test]
+    fn symmetrize_doubles_and_contains_reverses(edges in arb_edges()) {
+        let mut s = edges.clone();
+        symmetrize(&mut s);
+        prop_assert_eq!(s.len(), edges.len() * 2);
+        let set: HashSet<(u32, u32)> = s.iter().copied().collect();
+        for (u, v) in edges {
+            prop_assert!(set.contains(&(u, v)) && set.contains(&(v, u)));
+        }
+    }
+
+    #[test]
+    fn reverse_is_an_involution(edges in arb_edges()) {
+        let mut r = edges.clone();
+        reverse_edges(&mut r);
+        reverse_edges(&mut r);
+        prop_assert_eq!(r, edges);
+    }
+
+    #[test]
+    fn dedup_is_idempotent_and_loses_no_distinct_edge(edges in arb_edges()) {
+        let mut once = edges.clone();
+        dedup_edges(&mut once);
+        let mut twice = once.clone();
+        dedup_edges(&mut twice);
+        prop_assert_eq!(&once, &twice);
+        let a: HashSet<_> = edges.iter().copied().collect();
+        let b: HashSet<_> = once.iter().copied().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compact_ids_is_dense_and_consistent(edges in arb_edges()) {
+        let mut c = edges.clone();
+        let remap = compact_ids(&mut c);
+        // Dense range.
+        let used: HashSet<u32> = c.iter().flat_map(|&(u, v)| [u, v]).collect();
+        prop_assert_eq!(used.len(), remap.len());
+        prop_assert!(used.iter().all(|&x| (x as usize) < remap.len()));
+        // Structure preserved under the map.
+        for (&(u0, v0), &(u1, v1)) in edges.iter().zip(&c) {
+            prop_assert_eq!(remap[&u0], u1);
+            prop_assert_eq!(remap[&v0], v1);
+        }
+    }
+
+    #[test]
+    fn self_loop_removal_only_removes_self_loops(edges in arb_edges()) {
+        let mut cleaned = edges.clone();
+        remove_self_loops(&mut cleaned);
+        prop_assert!(cleaned.iter().all(|&(u, v)| u != v));
+        let removed = edges.len() - cleaned.len();
+        let loops = edges.iter().filter(|&&(u, v)| u == v).count();
+        prop_assert_eq!(removed, loops);
+    }
+}

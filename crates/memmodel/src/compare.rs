@@ -1,0 +1,158 @@
+//! Fitting measured footprints against the analytic models.
+//!
+//! Figure 9's argument rests on memory being affine in graph size; this
+//! module makes that check first-class. Given measured
+//! [`FootprintReport`]s over a family of graphs, [`fit_affine`] recovers
+//! per-vertex and per-edge byte coefficients by least squares, and
+//! [`FitReport`] compares them with what a [`crate::LayoutModel`] predicts —
+//! closing the loop between the engines' exact accounting and the
+//! paper-scale projections.
+
+use ipregel::FootprintReport;
+use serde::Serialize;
+
+/// One measured point: a graph size and the engine's byte accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MeasuredPoint {
+    /// Number of vertices.
+    pub vertices: u64,
+    /// Number of directed edges.
+    pub edges: u64,
+    /// The engine's report for a run on this graph.
+    pub footprint: FootprintReport,
+}
+
+/// Affine fit `bytes ≈ per_vertex·V + per_edge·E + base`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FitReport {
+    /// Fitted bytes per vertex.
+    pub per_vertex: f64,
+    /// Fitted bytes per edge.
+    pub per_edge: f64,
+    /// Fitted constant term.
+    pub base: f64,
+    /// Maximum relative residual of any point under the fit.
+    pub max_rel_residual: f64,
+}
+
+/// Least-squares fit of total bytes against (V, E, 1).
+///
+/// # Panics
+/// With fewer than 3 points (the system is 3-parameter), or if the
+/// points are degenerate (e.g. all the same size).
+pub fn fit_affine(points: &[MeasuredPoint]) -> FitReport {
+    assert!(points.len() >= 3, "affine fit needs at least 3 points");
+    // Normal equations for X = [V E 1], y = bytes. 3×3 solve by Cramer.
+    let mut xtx = [[0.0f64; 3]; 3];
+    let mut xty = [0.0f64; 3];
+    for p in points {
+        let row = [p.vertices as f64, p.edges as f64, 1.0];
+        let y = p.footprint.total_bytes() as f64;
+        for i in 0..3 {
+            for j in 0..3 {
+                xtx[i][j] += row[i] * row[j];
+            }
+            xty[i] += row[i] * y;
+        }
+    }
+    let det3 = |m: &[[f64; 3]; 3]| {
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    };
+    let d = det3(&xtx);
+    assert!(d.abs() > 1e-6, "degenerate point set: vary the graph sizes");
+    let mut solution = [0.0f64; 3];
+    for (k, s) in solution.iter_mut().enumerate() {
+        let mut m = xtx;
+        for i in 0..3 {
+            m[i][k] = xty[i];
+        }
+        *s = det3(&m) / d;
+    }
+    let [per_vertex, per_edge, base] = solution;
+    let max_rel_residual = points
+        .iter()
+        .map(|p| {
+            let fit = per_vertex * p.vertices as f64 + per_edge * p.edges as f64 + base;
+            let y = p.footprint.total_bytes() as f64;
+            (y - fit).abs() / y.abs().max(1e-300)
+        })
+        .fold(0.0, f64::max);
+    FitReport { per_vertex, per_edge, base, max_rel_residual }
+}
+
+impl FitReport {
+    /// Extrapolate the fit to a paper-scale graph.
+    pub fn project(&self, vertices: u64, edges: u64) -> f64 {
+        self.per_vertex * vertices as f64 + self.per_edge * edges as f64 + self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(v: u64, e: u64, per_v: usize, per_e: usize) -> MeasuredPoint {
+        MeasuredPoint {
+            vertices: v,
+            edges: e,
+            footprint: FootprintReport {
+                graph_bytes: e as usize * per_e,
+                values_bytes: v as usize * per_v,
+                mailbox_bytes: 0,
+                lock_bytes: 0,
+                flags_bytes: 1000, // constant base
+                worklist_bytes: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn recovers_exact_affine_coefficients() {
+        let pts: Vec<MeasuredPoint> = [(1000u64, 5000u64), (2000, 9000), (4000, 20000), (8000, 31000)]
+            .iter()
+            .map(|&(v, e)| synthetic(v, e, 24, 4))
+            .collect();
+        let fit = fit_affine(&pts);
+        assert!((fit.per_vertex - 24.0).abs() < 1e-6, "{fit:?}");
+        assert!((fit.per_edge - 4.0).abs() < 1e-6);
+        assert!((fit.base - 1000.0).abs() < 1e-3);
+        assert!(fit.max_rel_residual < 1e-12);
+    }
+
+    #[test]
+    fn projection_extends_the_line() {
+        let pts: Vec<MeasuredPoint> =
+            [(100u64, 900u64), (200, 2100), (300, 2700)].iter().map(|&(v, e)| synthetic(v, e, 10, 8)).collect();
+        let fit = fit_affine(&pts);
+        let projected = fit.project(1_000_000, 10_000_000);
+        assert!((projected - (10e6 + 80e6 + 1000.0)).abs() / projected < 1e-6);
+    }
+
+    #[test]
+    fn flags_nonaffine_data() {
+        // Quadratic growth must show as a residual.
+        let pts: Vec<MeasuredPoint> = (1..=6u64)
+            .map(|i| {
+                let v = i * 1000;
+                MeasuredPoint {
+                    vertices: v,
+                    edges: i * 700 + i % 3, // linear (+ jitter against collinearity)
+                    footprint: FootprintReport {
+                        graph_bytes: (v * v / 1000) as usize,
+                        ..FootprintReport::default()
+                    },
+                }
+            })
+            .collect();
+        let fit = fit_affine(&pts);
+        assert!(fit.max_rel_residual > 0.01, "{fit:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn too_few_points_panics() {
+        fit_affine(&[synthetic(1, 1, 1, 1), synthetic(2, 2, 1, 1)]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Section 6.1's lock-size arithmetic.
+//!
+//! "The former \[mutex\] weights 40 bytes while the latter \[spinlock\] is
+//! only 4; which is a reduction of 90%. Since there is one lock per inbox
+//! and one inbox per vertex, this memory gain is to be multiplied by the
+//! total number of vertices." The quoted consequences — 730 MB → 73 MB on
+//! Wikipedia, 958 MB → 96 MB on USA — are pinned by the tests below.
+
+/// A push-combiner lock flavour and its per-instance size in the paper's
+/// gcc toolchain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// `pthread_mutex_t`: 40 bytes.
+    Mutex,
+    /// GNU99 spinlock: 4 bytes.
+    Spinlock,
+}
+
+impl LockKind {
+    /// Bytes per lock.
+    pub fn bytes(&self) -> usize {
+        match self {
+            LockKind::Mutex => 40,
+            LockKind::Spinlock => 4,
+        }
+    }
+}
+
+/// Total data-race-protection bytes for a graph of `vertices` vertices
+/// (one lock per inbox, one inbox per vertex).
+pub fn lock_protection_bytes(kind: LockKind, vertices: u64) -> u64 {
+    vertices * kind.bytes() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MB;
+
+    const WIKI_V: u64 = 18_268_992;
+    const USA_V: u64 = 23_947_347;
+
+    #[test]
+    fn spinlock_is_a_90_percent_reduction() {
+        let m = LockKind::Mutex.bytes() as f64;
+        let s = LockKind::Spinlock.bytes() as f64;
+        assert_eq!((1.0 - s / m) * 100.0, 90.0);
+    }
+
+    #[test]
+    fn wikipedia_locks_shrink_730_to_73_mb() {
+        // Section 6.1: "from 730 ... megabytes to 73 ... megabytes".
+        let mutex = lock_protection_bytes(LockKind::Mutex, WIKI_V) as f64 / MB;
+        let spin = lock_protection_bytes(LockKind::Spinlock, WIKI_V) as f64 / MB;
+        assert!((mutex - 730.0).abs() < 2.0, "mutex {mutex:.1} MB");
+        assert!((spin - 73.0).abs() < 0.2, "spinlock {spin:.1} MB");
+    }
+
+    #[test]
+    fn usa_locks_shrink_958_to_96_mb() {
+        // Section 6.1: "and 958 ... to ... 96 megabytes".
+        let mutex = lock_protection_bytes(LockKind::Mutex, USA_V) as f64 / MB;
+        let spin = lock_protection_bytes(LockKind::Spinlock, USA_V) as f64 / MB;
+        assert!((mutex - 958.0).abs() < 2.0, "mutex {mutex:.1} MB");
+        assert!((spin - 96.0).abs() < 0.3, "spinlock {spin:.1} MB");
+    }
+}

@@ -1,0 +1,83 @@
+//! Cluster topology: nodes, workers, and who is remote from whom.
+//!
+//! The paper's setup (Section 7.1.1): EC2 m4.large nodes with 2 cores and
+//! 8 GB each, one MPI process per core. Messages between workers on the
+//! same node are local; messages crossing nodes pay network cost.
+
+/// A simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of nodes (the Figure 8 x-axis, 1–16 measured).
+    pub nodes: usize,
+    /// MPI processes per node (the paper uses 2, one per core).
+    pub workers_per_node: usize,
+    /// RAM per node in bytes (8 GB on m4.large). Scale this down together
+    /// with the graphs when reproducing at laptop size.
+    pub node_ram_bytes: u64,
+}
+
+impl ClusterSpec {
+    /// The paper's m4.large cluster with `nodes` nodes.
+    pub fn m4_large(nodes: usize) -> Self {
+        ClusterSpec { nodes, workers_per_node: 2, node_ram_bytes: 8 << 30 }
+    }
+
+    /// Same topology with RAM scaled by `divisor` — used when the graphs
+    /// themselves are scaled by `divisor`, preserving the memory-failure
+    /// pattern of Figure 8.
+    pub fn m4_large_scaled(nodes: usize, divisor: u64) -> Self {
+        ClusterSpec {
+            nodes,
+            workers_per_node: 2,
+            node_ram_bytes: ((8u64 << 30) / divisor.max(1)).max(1),
+        }
+    }
+
+    /// Total workers in the cluster.
+    pub fn num_workers(&self) -> usize {
+        self.nodes * self.workers_per_node
+    }
+
+    /// Node hosting `worker`.
+    #[inline]
+    pub fn node_of(&self, worker: usize) -> usize {
+        worker / self.workers_per_node
+    }
+
+    /// Whether two workers share a node (their messages skip the network).
+    #[inline]
+    pub fn is_local(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m4_large_matches_paper_setup() {
+        let c = ClusterSpec::m4_large(4);
+        assert_eq!(c.nodes, 4);
+        assert_eq!(c.workers_per_node, 2);
+        assert_eq!(c.num_workers(), 8);
+        assert_eq!(c.node_ram_bytes, 8 << 30);
+    }
+
+    #[test]
+    fn worker_to_node_mapping() {
+        let c = ClusterSpec::m4_large(3);
+        assert_eq!(c.node_of(0), 0);
+        assert_eq!(c.node_of(1), 0);
+        assert_eq!(c.node_of(2), 1);
+        assert_eq!(c.node_of(5), 2);
+        assert!(c.is_local(0, 1));
+        assert!(!c.is_local(1, 2));
+    }
+
+    #[test]
+    fn scaled_ram_divides() {
+        let c = ClusterSpec::m4_large_scaled(2, 100);
+        assert_eq!(c.node_ram_bytes, (8u64 << 30) / 100);
+    }
+}

@@ -1,0 +1,179 @@
+//! The paper's extrapolation and lead-change arithmetic (Section 7.3).
+//!
+//! Figure 8 measures Pregel+ on 1–16 nodes. When the lead change (the
+//! node count at which Pregel+ first beats iPregel) falls outside that
+//! interval, footnote 8 extrapolates "by assuming the efficiency between
+//! 8 and 16 nodes to stay constant every time the number of nodes is
+//! doubled"; the same rule runs backward to estimate runtimes for node
+//! counts where Pregel+ ran out of memory.
+
+use serde::Serialize;
+
+/// One point of a runtime-vs-nodes series. `seconds == None` marks an
+/// insufficient-memory failure (the shaded region of Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct NodesPoint {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Measured (or extrapolated) runtime; `None` if the run failed for
+    /// memory.
+    pub seconds: Option<f64>,
+    /// Whether this value came from extrapolation rather than simulation.
+    pub extrapolated: bool,
+}
+
+impl NodesPoint {
+    /// A measured point.
+    pub fn measured(nodes: usize, seconds: f64) -> Self {
+        NodesPoint { nodes, seconds: Some(seconds), extrapolated: false }
+    }
+
+    /// A memory-failure point.
+    pub fn failed(nodes: usize) -> Self {
+        NodesPoint { nodes, seconds: None, extrapolated: false }
+    }
+}
+
+/// Doubling ratio `t(2n)/t(n)` taken from the two largest successful
+/// points of the series (the paper uses 8→16).
+fn doubling_ratio(series: &[NodesPoint]) -> Option<f64> {
+    let ok: Vec<&NodesPoint> = series.iter().filter(|p| p.seconds.is_some()).collect();
+    for window in ok.windows(2).rev() {
+        let (a, b) = (window[0], window[1]);
+        if b.nodes == 2 * a.nodes {
+            return Some(b.seconds.unwrap() / a.seconds.unwrap());
+        }
+    }
+    None
+}
+
+/// Fill memory-failure points backward and extend the series forward to
+/// `max_nodes` (by doublings), per footnote 8. Input points must be in
+/// increasing node order at power-of-two counts.
+pub fn extrapolate_series(series: &[NodesPoint], max_nodes: usize) -> Vec<NodesPoint> {
+    let mut out: Vec<NodesPoint> = series.to_vec();
+    let Some(ratio) = doubling_ratio(series) else {
+        return out;
+    };
+    // Backward: walk from the first successful point down.
+    if let Some(first_ok) = out.iter().position(|p| p.seconds.is_some()) {
+        for i in (0..first_ok).rev() {
+            let above = out[i + 1].seconds.expect("filled in order");
+            out[i].seconds = Some(above / ratio);
+            out[i].extrapolated = true;
+        }
+    }
+    // Forward: keep doubling.
+    if let Some(last) = out.iter().rev().find(|p| p.seconds.is_some()).copied() {
+        let mut nodes = last.nodes * 2;
+        let mut t = last.seconds.unwrap() * ratio;
+        while nodes <= max_nodes {
+            out.push(NodesPoint { nodes, seconds: Some(t), extrapolated: true });
+            nodes *= 2;
+            t *= ratio;
+        }
+    }
+    out
+}
+
+/// Smallest node count at which the series drops to or below
+/// `reference_seconds` (iPregel's single-node runtime), interpolating
+/// log-log between bracketing points — the paper reports non-power-of-two
+/// lead changes like 11 and 13 this way. Returns `None` if the series
+/// never catches up within its range (the paper then reports a bound,
+/// e.g. "more than 15,000 nodes").
+pub fn lead_change(series: &[NodesPoint], reference_seconds: f64) -> Option<usize> {
+    let pts: Vec<(usize, f64)> =
+        series.iter().filter_map(|p| p.seconds.map(|s| (p.nodes, s))).collect();
+    if let Some(&(n0, t0)) = pts.first() {
+        if t0 <= reference_seconds {
+            return Some(n0);
+        }
+    }
+    for w in pts.windows(2) {
+        let ((n1, t1), (n2, t2)) = (w[0], w[1]);
+        if t1 > reference_seconds && t2 <= reference_seconds {
+            // Log-log interpolation: t(n) = t1 · (n/n1)^α.
+            let alpha = (t2 / t1).ln() / (n2 as f64 / n1 as f64).ln();
+            let n = n1 as f64 * (reference_seconds / t1).powf(1.0 / alpha);
+            let n = n.ceil() as usize;
+            return Some(n.clamp(n1 + 1, n2));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(points: &[(usize, Option<f64>)]) -> Vec<NodesPoint> {
+        points
+            .iter()
+            .map(|&(n, s)| match s {
+                Some(t) => NodesPoint::measured(n, t),
+                None => NodesPoint::failed(n),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_extrapolation_keeps_doubling_efficiency() {
+        // t(8)=100, t(16)=60 → ratio 0.6 → t(32)=36, t(64)=21.6.
+        let s = series(&[(8, Some(100.0)), (16, Some(60.0))]);
+        let e = extrapolate_series(&s, 64);
+        assert_eq!(e.len(), 4);
+        assert!((e[2].seconds.unwrap() - 36.0).abs() < 1e-9);
+        assert!((e[3].seconds.unwrap() - 21.6).abs() < 1e-9);
+        assert!(e[2].extrapolated && e[3].extrapolated);
+    }
+
+    #[test]
+    fn backward_extrapolation_fills_memory_failures() {
+        // Paper: "The same extrapolation method is used backward to
+        // estimate the runtimes ... where Pregel+ fails ... due to
+        // insufficient memory."
+        let s = series(&[(1, None), (2, None), (4, Some(120.0)), (8, Some(100.0)), (16, Some(60.0))]);
+        let e = extrapolate_series(&s, 16);
+        let t2 = e[1].seconds.unwrap();
+        let t1 = e[0].seconds.unwrap();
+        assert!((t2 - 120.0 / 0.6).abs() < 1e-9);
+        assert!((t1 - 120.0 / 0.36).abs() < 1e-6);
+        assert!(e[0].extrapolated && e[1].extrapolated && !e[2].extrapolated);
+    }
+
+    #[test]
+    fn lead_change_interpolates_between_powers() {
+        // Shape like the paper's Hashmin: crossing between 8 and 16 gives
+        // a non-power-of-two lead change.
+        let s = series(&[
+            (1, Some(150.0)),
+            (2, Some(90.0)),
+            (4, Some(55.0)),
+            (8, Some(34.0)),
+            (16, Some(21.0)),
+        ]);
+        let lc = lead_change(&s, 25.0).unwrap();
+        assert!(lc > 8 && lc < 16, "lead change {lc}");
+    }
+
+    #[test]
+    fn lead_change_at_first_point_when_already_ahead() {
+        let s = series(&[(1, Some(10.0)), (2, Some(6.0))]);
+        assert_eq!(lead_change(&s, 12.0), Some(1));
+    }
+
+    #[test]
+    fn no_lead_change_within_range() {
+        let s = series(&[(1, Some(100.0)), (2, Some(99.0)), (4, Some(98.5))]);
+        assert_eq!(lead_change(&s, 3.0), None);
+    }
+
+    #[test]
+    fn series_without_doubling_pair_is_returned_unchanged() {
+        let s = series(&[(1, None), (3, Some(5.0))]);
+        let e = extrapolate_series(&s, 64);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].seconds, None);
+    }
+}

@@ -1,0 +1,37 @@
+//! # pregelplus-sim — executable simulator of the Pregel+ baseline
+//!
+//! The paper compares iPregel against Pregel+ [Yan et al., WWW'15], a
+//! state-of-the-art **distributed** in-memory vertex-centric framework,
+//! on 1–16 two-core EC2 nodes (Section 7.3). No MPI cluster exists in
+//! this environment, so this crate substitutes an *executable simulator*:
+//!
+//! * the computation is **really executed** with Pregel+'s architecture —
+//!   hash-partitioned workers, per-destination-worker send buffers,
+//!   sender-side combining, a message-exchange phase, receiver-side
+//!   combining — so results are bit-comparable with iPregel's;
+//! * wall-clock is **modelled** from the execution trace with a
+//!   calibrated cost model ([`CostModel`]): per-vertex and per-message
+//!   CPU costs, 4-byte recipient-id message wrapping, finite network
+//!   bandwidth (450 Mbit/s, the paper's EC2 figure) and per-superstep
+//!   synchronisation latency;
+//! * per-node memory is modelled from the same trace ([`memory`]),
+//!   including the overheads Section 7.4.4 attributes to distributed
+//!   designs (send/receive buffers, wrapped messages, redundant runtime
+//!   instances, the vertex-location layer, C++ virtual-table pointers),
+//!   so insufficient-memory failures appear at low node counts exactly
+//!   as in Figure 8.
+//!
+//! The crate also implements the paper's extrapolation rule (footnote 8)
+//! and lead-change computation in [`extrapolate`].
+
+pub mod cluster;
+pub mod cost;
+pub mod engine;
+pub mod extrapolate;
+pub mod memory;
+
+pub use cluster::ClusterSpec;
+pub use cost::CostModel;
+pub use engine::{simulate, simulate_full, simulate_partitioned, PartitionStrategy, SimOutput, SimSuperstep};
+pub use extrapolate::{extrapolate_series, lead_change, NodesPoint};
+pub use memory::MemoryModel;

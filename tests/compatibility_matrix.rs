@@ -1,0 +1,140 @@
+//! The application × version compatibility matrix, executed.
+//!
+//! Each application declares two compatibility facts (the knowledge an
+//! iPregel user encodes in compile flags, §3.1.1): whether its vertices
+//! halt every superstep (selection bypass soundness, §4) and whether it
+//! communicates only by broadcast (pull-combiner compatibility, §6.2).
+//! This suite runs every declared-compatible combination against the
+//! references and asserts the declared-incompatible ones are rejected
+//! loudly rather than silently wrong.
+
+use ipregel::{run, CombinerKind, RunConfig, Version};
+use ipregel_apps::{reference, Bfs, Hashmin, MaxValue, PageRank, Sssp, WeightedSssp, WidestPath};
+use ipregel_graph::generators::analogs::WIKIPEDIA;
+use ipregel_graph::{Graph, GraphBuilder, NeighborMode};
+
+fn analog() -> Graph {
+    WIKIPEDIA.analog_graph(6000, 17, NeighborMode::Both)
+}
+
+fn weighted_graph() -> Graph {
+    let mut b = GraphBuilder::new(NeighborMode::Both);
+    for (u, v, w) in [(0u32, 1u32, 4u32), (1, 2, 2), (0, 2, 9), (2, 3, 1), (3, 0, 3)] {
+        b.add_weighted_edge(u, v, w);
+        b.add_weighted_edge(v, u, w);
+    }
+    b.build().unwrap()
+}
+
+/// Versions compatible with an app given its two declared facts.
+fn compatible_versions(bypass_ok: bool, broadcast_only: bool) -> Vec<Version> {
+    Version::paper_versions()
+        .into_iter()
+        .filter(|v| {
+            (bypass_ok || !v.selection_bypass)
+                && (broadcast_only || v.combiner != CombinerKind::Broadcast)
+        })
+        .collect()
+}
+
+#[test]
+fn declared_compatibility_counts_match_the_paper() {
+    // §7.2: Hashmin and SSSP run in all six versions, PageRank in the
+    // three non-bypass ones.
+    assert_eq!(compatible_versions(Sssp::BYPASS_COMPATIBLE, Sssp::BROADCAST_ONLY).len(), 6);
+    assert_eq!(compatible_versions(Hashmin::BYPASS_COMPATIBLE, Hashmin::BROADCAST_ONLY).len(), 6);
+    assert_eq!(
+        compatible_versions(PageRank::BYPASS_COMPATIBLE, PageRank::BROADCAST_ONLY).len(),
+        3
+    );
+    // The weighted point-to-point apps lose the two broadcast versions.
+    assert_eq!(
+        compatible_versions(WeightedSssp::BYPASS_COMPATIBLE, WeightedSssp::BROADCAST_ONLY).len(),
+        4
+    );
+}
+
+#[test]
+fn every_compatible_combination_matches_its_reference() {
+    let g = analog();
+    let source = g.address_map().base();
+
+    let sssp_expected = reference::bfs_levels(&g, source);
+    for v in compatible_versions(Sssp::BYPASS_COMPATIBLE, Sssp::BROADCAST_ONLY) {
+        let out = run(&g, &Sssp { source }, v, &RunConfig::default());
+        assert_eq!(out.values, sssp_expected, "SSSP {}", v.label());
+    }
+
+    let hm_expected = reference::minlabel_fixpoint(&g);
+    for v in compatible_versions(Hashmin::BYPASS_COMPATIBLE, Hashmin::BROADCAST_ONLY) {
+        let out = run(&g, &Hashmin, v, &RunConfig::default());
+        assert_eq!(out.values, hm_expected, "Hashmin {}", v.label());
+    }
+
+    for v in compatible_versions(Bfs::BYPASS_COMPATIBLE, Bfs::BROADCAST_ONLY) {
+        let out = run(&g, &Bfs { source }, v, &RunConfig::default());
+        assert_eq!(out.values, sssp_expected, "BFS {}", v.label());
+    }
+
+    let mv_expected = ipregel_apps::maxvalue::maxvalue_fixpoint(&g);
+    for v in compatible_versions(MaxValue::BYPASS_COMPATIBLE, MaxValue::BROADCAST_ONLY) {
+        let out = run(&g, &MaxValue, v, &RunConfig::default());
+        assert_eq!(out.values, mv_expected, "MaxValue {}", v.label());
+    }
+
+    let pr_expected = reference::pagerank_power(&g, 8, 0.85);
+    for v in compatible_versions(PageRank::BYPASS_COMPATIBLE, PageRank::BROADCAST_ONLY) {
+        let out = run(&g, &PageRank { rounds: 8, damping: 0.85 }, v, &RunConfig::default());
+        let diff = reference::max_rel_diff(&g, &out.values, &pr_expected);
+        assert!(diff < 1e-9, "PageRank {} diverged {diff}", v.label());
+    }
+}
+
+#[test]
+fn weighted_apps_match_their_oracles_on_push_versions() {
+    let g = weighted_graph();
+    let dj = reference::dijkstra(&g, 0);
+    let wp = ipregel_apps::widest_path::widest_path_oracle(&g, 0);
+    for v in compatible_versions(WeightedSssp::BYPASS_COMPATIBLE, WeightedSssp::BROADCAST_ONLY) {
+        let out = run(&g, &WeightedSssp { source: 0 }, v, &RunConfig::default());
+        assert_eq!(out.values, dj, "WeightedSssp {}", v.label());
+        let out = run(&g, &WidestPath { source: 0 }, v, &RunConfig::default());
+        assert_eq!(out.values, wp, "WidestPath {}", v.label());
+    }
+}
+
+#[test]
+fn incompatible_broadcast_combinations_fail_loudly() {
+    let g = weighted_graph();
+    for program_name in ["weighted_sssp", "widest"] {
+        let result = std::panic::catch_unwind(|| {
+            let v = Version { combiner: CombinerKind::Broadcast, selection_bypass: false };
+            let cfg = RunConfig { threads: Some(1), ..RunConfig::default() };
+            match program_name {
+                "weighted_sssp" => {
+                    run(&g, &WeightedSssp { source: 0 }, v, &cfg);
+                }
+                _ => {
+                    run(&g, &WidestPath { source: 0 }, v, &cfg);
+                }
+            }
+        });
+        assert!(result.is_err(), "{program_name} must panic on the pull engine, not mis-run");
+    }
+}
+
+#[test]
+fn pull_engine_without_in_edges_fails_loudly() {
+    let mut b = GraphBuilder::new(NeighborMode::OutOnly);
+    b.add_edge(0, 1);
+    let g = b.build().unwrap();
+    let result = std::panic::catch_unwind(|| {
+        run(
+            &g,
+            &Hashmin,
+            Version { combiner: CombinerKind::Broadcast, selection_bypass: false },
+            &RunConfig { threads: Some(1), ..RunConfig::default() },
+        )
+    });
+    assert!(result.is_err(), "pull on an out-only graph must be rejected at entry");
+}

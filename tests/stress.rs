@@ -1,0 +1,125 @@
+//! Heavier randomized stress: larger graphs, every version, adversarial
+//! shapes (hubs, long chains, dense cliques, disconnected debris).
+
+use ipregel::{run, CombinerKind, RunConfig, Version};
+use ipregel_apps::reference;
+use ipregel_apps::{Hashmin, KCore, MultiSourceReachability, Sssp};
+use ipregel_graph::generators::barabasi::barabasi_albert_edges;
+use ipregel_graph::generators::watts_strogatz::watts_strogatz_edges;
+use ipregel_graph::transform::symmetrize;
+use ipregel_graph::{Graph, GraphBuilder, NeighborMode};
+
+fn build_sym(mut edges: Vec<(u32, u32)>) -> Graph {
+    symmetrize(&mut edges);
+    let mut b = GraphBuilder::with_capacity(NeighborMode::Both, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn hub_heavy_graph_all_versions_agree_with_reference() {
+    // Preferential attachment → extreme hubs → maximal mailbox contention.
+    let g = build_sym(barabasi_albert_edges(3000, 3, 42));
+    let expected = reference::minlabel_fixpoint(&g);
+    for v in Version::paper_versions() {
+        let out = run(&g, &Hashmin, v, &RunConfig::default());
+        assert_eq!(out.values, expected, "{}", v.label());
+    }
+}
+
+#[test]
+fn small_world_sssp_under_contention() {
+    let g = build_sym(watts_strogatz_edges(4000, 6, 0.1, 7));
+    let expected = reference::bfs_levels(&g, 0);
+    for v in Version::paper_versions() {
+        let out = run(
+            &g,
+            &Sssp { source: 0 },
+            v,
+            &RunConfig { threads: Some(8), ..RunConfig::default() },
+        );
+        assert_eq!(out.values, expected, "{}", v.label());
+    }
+}
+
+#[test]
+fn pathological_chain_with_shortcuts() {
+    // A 5000-vertex chain plus shortcuts: worst case for superstep counts
+    // with late frontier corrections.
+    let mut edges: Vec<(u32, u32)> = (0..4999u32).map(|i| (i, i + 1)).collect();
+    for i in (0..4999).step_by(97) {
+        edges.push((i, (i + 450) % 5000));
+    }
+    let g = build_sym(edges);
+    let expected = reference::bfs_levels(&g, 2500);
+    let bypass = Version { combiner: CombinerKind::Spinlock, selection_bypass: true };
+    let scan = Version { combiner: CombinerKind::Spinlock, selection_bypass: false };
+    let a = run(&g, &Sssp { source: 2500 }, bypass, &RunConfig::default());
+    let b = run(&g, &Sssp { source: 2500 }, scan, &RunConfig::default());
+    assert_eq!(a.values, expected);
+    assert_eq!(b.values, expected);
+}
+
+#[test]
+fn disconnected_debris_and_clique_cores() {
+    // Dense cliques joined by bridges plus isolated vertices: exercises
+    // k-core cascades and component labelling together.
+    let mut edges = Vec::new();
+    for c in 0..5u32 {
+        let base = c * 20;
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                edges.push((base + i, base + j));
+            }
+        }
+    }
+    edges.push((5, 25)); // one bridge between two cliques
+    let mut b = GraphBuilder::new(NeighborMode::Both).declare_id_range(0, 120);
+    let mut sym = edges;
+    symmetrize(&mut sym);
+    for (u, v) in sym {
+        b.add_edge(u, v);
+    }
+    let g = b.build().unwrap();
+
+    // Components.
+    let expected = reference::minlabel_fixpoint(&g);
+    let comp = run(
+        &g,
+        &Hashmin,
+        Version { combiner: CombinerKind::Broadcast, selection_bypass: true },
+        &RunConfig::default(),
+    );
+    assert_eq!(comp.values, expected);
+
+    // 9-core keeps exactly the clique members (bridge endpoints have
+    // degree 10 but their neighbours cap out at 9-cliques).
+    let core = run(
+        &g,
+        &KCore { k: 9 },
+        Version { combiner: CombinerKind::Spinlock, selection_bypass: true },
+        &RunConfig::default(),
+    );
+    let alive = core.iter().filter(|(_, s)| s.alive).count();
+    assert_eq!(alive, 50, "all clique members survive the 9-core");
+    let expected_core = ipregel_apps::kcore::kcore_peeling(&g, 9);
+    for slot in g.address_map().live_slots() {
+        assert_eq!(core.values[slot as usize].alive, expected_core[slot as usize]);
+    }
+}
+
+#[test]
+fn sixty_four_source_reachability() {
+    let g = build_sym(watts_strogatz_edges(1000, 4, 0.05, 3));
+    let sources: Vec<u32> = (0..64).map(|i| i * 15).collect();
+    let q = MultiSourceReachability::new(sources.clone());
+    let expected = ipregel_apps::reachability::reachability_oracle(&g, &sources);
+    // Skip the lock-free engine here: a 64-bit full mask could collide
+    // with its sentinel; every other version must agree.
+    for v in Version::paper_versions() {
+        let out = run(&g, &q, v, &RunConfig::default());
+        assert_eq!(out.values, expected, "{}", v.label());
+    }
+}

@@ -1,0 +1,101 @@
+//! The paper's *qualitative* performance claims as executable assertions.
+//!
+//! These compare orderings with generous margins (≥2–3× where the real
+//! effects are 4–100×), so they hold in debug builds and under test-runner
+//! noise. A static mutex serialises them against each other; they are
+//! still not immune to a heavily oversubscribed machine, which is why
+//! the margins are wide and the workloads structural (superstep-count
+//! dominated), not microsecond-scale.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use femtograph_sim::run_naive;
+use ipregel::{run, CombinerKind, RunConfig, Version};
+use ipregel_apps::{PageRank, Sssp};
+use ipregel_graph::generators::analogs::{USA_ROADS, WIKIPEDIA};
+use ipregel_graph::NeighborMode;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn timed(f: impl FnOnce() -> u64) -> (Duration, u64) {
+    let t0 = std::time::Instant::now();
+    let check = f();
+    (t0.elapsed(), check)
+}
+
+#[test]
+fn bypass_beats_scan_on_road_sssp_by_a_wide_margin() {
+    let _guard = SERIAL.lock().unwrap();
+    // High diameter + tiny frontier: the §4 best case (paper: ×1400 at
+    // full scale, ×46 at harness scale; demand ≥3× here).
+    let g = USA_ROADS.analog_graph(500, 5, NeighborMode::Both);
+    let cfg = RunConfig { threads: Some(2), ..RunConfig::default() };
+    let (scan, a) = timed(|| {
+        let out = run(
+            &g,
+            &Sssp { source: 2 },
+            Version { combiner: CombinerKind::Spinlock, selection_bypass: false },
+            &cfg,
+        );
+        out.values.iter().map(|&v| u64::from(v != u32::MAX)).sum()
+    });
+    let (bypass, b) = timed(|| {
+        let out = run(
+            &g,
+            &Sssp { source: 2 },
+            Version { combiner: CombinerKind::Spinlock, selection_bypass: true },
+            &cfg,
+        );
+        out.values.iter().map(|&v| u64::from(v != u32::MAX)).sum()
+    });
+    assert_eq!(a, b, "both runs must reach the same vertices");
+    assert!(
+        scan > bypass * 3,
+        "scan {scan:?} should be ≥3× bypass {bypass:?} on the road graph"
+    );
+}
+
+#[test]
+fn pull_combiner_wins_pagerank() {
+    let _guard = SERIAL.lock().unwrap();
+    // Paper Figure 7: broadcast halves the spinlock time; ours is 2–4×.
+    // Demand only that pull is faster at all (margin 1.2×).
+    let g = WIKIPEDIA.analog_graph(400, 5, NeighborMode::Both);
+    let pr = PageRank { rounds: 10, damping: 0.85 };
+    let cfg = RunConfig { threads: Some(2), ..RunConfig::default() };
+    let (push, _) = timed(|| {
+        run(&g, &pr, Version { combiner: CombinerKind::Mutex, selection_bypass: false }, &cfg)
+            .stats
+            .num_supersteps() as u64
+    });
+    let (pull, _) = timed(|| {
+        run(&g, &pr, Version { combiner: CombinerKind::Broadcast, selection_bypass: false }, &cfg)
+            .stats
+            .num_supersteps() as u64
+    });
+    assert!(
+        push.as_secs_f64() > pull.as_secs_f64() * 1.2,
+        "mutex push {push:?} should trail pull {pull:?} on PageRank"
+    );
+}
+
+#[test]
+fn optimised_framework_beats_the_naive_baseline() {
+    let _guard = SERIAL.lock().unwrap();
+    // The FemtoGraph-shaped baseline pays queues + hashmap + scans
+    // (harness: 4–15×; demand 2×).
+    let g = WIKIPEDIA.analog_graph(400, 5, NeighborMode::Both);
+    let pr = PageRank { rounds: 8, damping: 0.85 };
+    let cfg = RunConfig { threads: Some(2), ..RunConfig::default() };
+    let (fast, _) = timed(|| {
+        run(&g, &pr, Version { combiner: CombinerKind::Broadcast, selection_bypass: false }, &cfg)
+            .stats
+            .num_supersteps() as u64
+    });
+    let (naive, _) = timed(|| run_naive(&g, &pr, &cfg).stats.num_supersteps() as u64);
+    assert!(
+        naive.as_secs_f64() > fast.as_secs_f64() * 2.0,
+        "naive {naive:?} should trail the optimised engine {fast:?} by ≥2×"
+    );
+}
