@@ -32,6 +32,10 @@
 //! implementation in [`mod@reference`], used by the test suites to verify
 //! every engine version produces identical results.
 
+// This crate needs no unsafe; keep it that way (see docs/INTERNALS.md,
+// "Safety model").
+#![forbid(unsafe_code)]
+
 pub mod bfs;
 pub mod bipartite;
 pub mod converging_pagerank;

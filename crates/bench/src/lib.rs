@@ -15,6 +15,10 @@
 //! Results are printed in paper-like tables and appended as JSON lines
 //! under `results/` for EXPERIMENTS.md.
 
+// This crate needs no unsafe; keep it that way (see docs/INTERNALS.md,
+// "Safety model").
+#![forbid(unsafe_code)]
+
 pub mod svg;
 
 use std::fs;

@@ -44,6 +44,10 @@
 //! The library entry point [`run_cli`] returns the rendered output so the
 //! whole surface is unit-testable without spawning processes.
 
+// This crate needs no unsafe; keep it that way (see docs/INTERNALS.md,
+// "Safety model").
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::fs::File;
 use std::io::BufReader;

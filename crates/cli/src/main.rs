@@ -1,5 +1,9 @@
 //! `ipregel` — run vertex-centric applications from the command line.
 
+// This crate needs no unsafe; keep it that way (see docs/INTERNALS.md,
+// "Safety model").
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

@@ -124,7 +124,9 @@ where
                         }
                     }
                     // SAFETY: distinct slots (scan indices distinct; the
-                    // bypass worklist dedups).
+                    // bypass worklist dedups); writers to this flag run
+                    // later in this same vertex execution, never
+                    // concurrently on another thread.
                     let was_halted = unsafe { *halted_view.get(v as usize) };
                     if was_halted && inbox.is_none() {
                         // Unfruitful check — the cost §6.2 factor (1)
@@ -144,10 +146,12 @@ where
                         sent: 0,
                         halt_vote: false,
                     };
-                    let value = unsafe { values_view.get_mut(v as usize) };
-                    program.compute(value, &mut ctx);
+                    // SAFETY: distinct slots, as above.
+                    let mut value = unsafe { values_view.get_mut(v as usize) };
+                    program.compute(&mut value, &mut ctx);
                     let halt = ctx.halt_vote;
                     let sent = ctx.sent;
+                    // SAFETY: distinct slots, as above.
                     unsafe { *halted_view.get_mut(v as usize) = halt };
                     (sent, u64::from(!halt), 1u64)
                 })
@@ -276,7 +280,7 @@ impl<P: VertexProgram> Context for PullCtx<'_, P> {
     fn broadcast(&mut self, msg: P::Message) {
         // SAFETY: slot `v` belongs to this vertex; vertices run at most
         // once per superstep, so the write is exclusive.
-        let slot = unsafe { self.outbox.get_mut(self.v as usize) };
+        let mut slot = unsafe { self.outbox.get_mut(self.v as usize) };
         match slot.as_mut() {
             Some(old) => P::combine(old, msg),
             None => *slot = Some(msg),

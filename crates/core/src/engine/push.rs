@@ -104,8 +104,10 @@ where
                     // SAFETY: the active list holds distinct slots (scan
                     // filters distinct indices; the bypass worklist dedups
                     // via epoch tags), so access is disjoint.
-                    let value = unsafe { values_view.get_mut(v as usize) };
-                    program.compute(value, &mut ctx);
+                    let mut value = unsafe { values_view.get_mut(v as usize) };
+                    program.compute(&mut value, &mut ctx);
+                    // SAFETY: same disjointness argument, on the halted
+                    // flags array.
                     unsafe { *halted_view.get_mut(v as usize) = ctx.halt_vote };
                     ctx.sent
                 })

@@ -71,6 +71,7 @@ pub mod mailbox;
 pub mod metrics;
 pub mod program;
 pub mod selection;
+pub mod sync;
 pub mod sync_cell;
 pub mod version;
 
@@ -78,7 +79,7 @@ pub use engine::pull::run_pull;
 pub use engine::push::run_push;
 pub use engine::seq::run_sequential;
 pub use engine::{RunConfig, RunOutput};
-pub use mailbox::{AtomicMailbox, Mailbox, MutexMailbox, PackMessage, SpinLock, SpinMailbox};
+pub use mailbox::{AtomicMailbox, Mailbox, MutexMailbox, PackMessage, SpinGuard, SpinLock, SpinMailbox};
 pub use metrics::{FootprintReport, RunStats, SuperstepStats};
 pub use program::{check_combiner, combiners, Context, MasterDecision, VertexProgram};
 pub use version::{run, run_packed, CombinerKind, Version};

@@ -10,7 +10,7 @@
 //! The benchmark suite uses this to quantify how much of the spinlock
 //! version's remaining cost is synchronisation.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 use super::Mailbox;
 
@@ -126,7 +126,7 @@ impl<M: PackMessage + Send + Sync> Mailbox<M> for AtomicMailbox<M> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::super::conformance;
     use super::*;
@@ -173,17 +173,18 @@ mod tests {
         fn add(old: &mut f64, new: f64) {
             *old += new;
         }
+        let (threads, iters) = if cfg!(miri) { (2u32, 50u32) } else { (4, 10_000) };
         let mb = <AtomicMailbox<f64> as Mailbox<f64>>::empty();
         std::thread::scope(|s| {
-            for _ in 0..4 {
+            for _ in 0..threads {
                 let mb = &mb;
                 s.spawn(move || {
-                    for _ in 0..10_000 {
+                    for _ in 0..iters {
                         mb.deliver(1.0, add);
                     }
                 });
             }
         });
-        assert_eq!(mb.take(), Some(40_000.0));
+        assert_eq!(mb.take(), Some(f64::from(threads * iters)));
     }
 }

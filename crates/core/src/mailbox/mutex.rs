@@ -7,8 +7,8 @@
 //! and pays park/unpark latency on a critical section that is typically a
 //! single compare-and-replace.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Mutex;
 
 use super::Mailbox;
 
@@ -64,7 +64,7 @@ impl<M: Copy + Send> Mailbox<M> for MutexMailbox<M> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::super::conformance;
     use super::*;

@@ -8,59 +8,102 @@
 //!
 //! The spinlock follows the construction in *Rust Atomics and Locks*
 //! (ch. 4): `compare_exchange_weak` acquire to lock, a `spin_loop` hint
-//! while contended, release store to unlock.
+//! while contended, release store to unlock. Ownership is enforced by a
+//! guard: [`SpinLock::lock`] returns a [`SpinGuard`] whose drop performs
+//! the release, so a non-owning thread cannot unlock by accident — the
+//! raw [`SpinLock::unlock`] escape hatch is `unsafe`.
+//!
+//! All synchronisation state comes from [`crate::sync`], so the loom
+//! suite (`tests/loom.rs`) model-checks mutual exclusion and
+//! release/acquire visibility over every interleaving.
 
-use std::cell::UnsafeCell;
-use std::hint::spin_loop;
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::cell::UnsafeCell;
+use crate::sync::hint::spin_loop;
 
 use super::Mailbox;
 
 /// A minimal test-and-set spinlock: the busy-waiting synchronisation of
 /// Section 6.1.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SpinLock {
     locked: AtomicBool,
 }
 
+impl Default for SpinLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl SpinLock {
     /// A new, unlocked lock.
+    #[cfg(not(loom))]
     pub const fn new() -> Self {
         SpinLock { locked: AtomicBool::new(false) }
     }
 
-    /// Busy-wait until the lock is acquired.
+    /// A new, unlocked lock (loom's atomics are not const-constructible).
+    #[cfg(loom)]
+    pub fn new() -> Self {
+        SpinLock { locked: AtomicBool::new(false) }
+    }
+
+    /// Busy-wait until the lock is acquired; the returned guard releases
+    /// it on drop.
     #[inline]
-    pub fn lock(&self) {
+    pub fn lock(&self) -> SpinGuard<'_> {
         while self
             .locked
             .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
         {
             // Spin on a plain load first: cheaper than hammering CAS on a
-            // contended line (test-and-test-and-set).
+            // contended line (test-and-test-and-set). Under loom the hint
+            // yields to the model scheduler so the owner can progress.
             while self.locked.load(Ordering::Relaxed) {
                 spin_loop();
             }
         }
+        SpinGuard { lock: self }
     }
 
-    /// Try to acquire without waiting.
+    /// Try to acquire without waiting; `Some(guard)` on success.
     #[inline]
-    pub fn try_lock(&self) -> bool {
-        self.locked
-            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
+    pub fn try_lock(&self) -> Option<SpinGuard<'_>> {
+        if self.locked.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed).is_ok() {
+            Some(SpinGuard { lock: self })
+        } else {
+            None
+        }
     }
 
-    /// Release the lock.
+    /// Release the lock without a guard.
     ///
-    /// # Safety-adjacent contract
-    /// Must only be called by the thread that holds the lock; this type
-    /// does not track ownership (it is one byte, like the paper's).
+    /// # Safety
+    /// The calling thread must currently own the lock (obtained via a
+    /// guard it has [`std::mem::forget`]ten, or through FFI-style manual
+    /// management). Unlocking a lock someone else holds destroys mutual
+    /// exclusion. Prefer dropping the [`SpinGuard`].
     #[inline]
-    pub fn unlock(&self) {
+    pub unsafe fn unlock(&self) {
         self.locked.store(false, Ordering::Release);
+    }
+}
+
+/// Ownership token for a held [`SpinLock`]; releases the lock on drop.
+#[derive(Debug)]
+#[must_use = "dropping the guard is what releases the lock"]
+pub struct SpinGuard<'a> {
+    lock: &'a SpinLock,
+}
+
+impl Drop for SpinGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        // SAFETY: a guard exists only while its thread owns the lock,
+        // and drop runs at most once — this is the owning release.
+        unsafe { self.lock.unlock() };
     }
 }
 
@@ -74,6 +117,7 @@ pub struct SpinMailbox<M> {
 
 // SAFETY: `slot` is only touched while `lock` is held; M: Send suffices.
 unsafe impl<M: Copy + Send> Sync for SpinMailbox<M> {}
+// SAFETY: moving the mailbox moves the M by value; M: Send suffices.
 unsafe impl<M: Copy + Send> Send for SpinMailbox<M> {}
 
 impl<M: Copy + Send> Mailbox<M> for SpinMailbox<M> {
@@ -82,33 +126,35 @@ impl<M: Copy + Send> Mailbox<M> for SpinMailbox<M> {
     }
 
     fn deliver(&self, msg: M, combine: fn(&mut M, M)) -> bool {
-        self.lock.lock();
-        // SAFETY: lock held.
-        let slot = unsafe { &mut *self.slot.get() };
-        let first = match slot.as_mut() {
-            Some(old) => {
-                combine(old, msg);
-                false
+        let _guard = self.lock.lock();
+        self.slot.with_mut(|p| {
+            // SAFETY: the spinlock guard is held for the whole closure;
+            // every other slot access also runs under the lock.
+            let slot = unsafe { &mut *p };
+            match slot.as_mut() {
+                Some(old) => {
+                    combine(old, msg);
+                    false
+                }
+                None => {
+                    *slot = Some(msg);
+                    self.has.store(true, Ordering::Relaxed);
+                    true
+                }
             }
-            None => {
-                *slot = Some(msg);
-                self.has.store(true, Ordering::Relaxed);
-                true
-            }
-        };
-        self.lock.unlock();
-        first
+        })
     }
 
     fn take(&self) -> Option<M> {
-        self.lock.lock();
-        // SAFETY: lock held.
-        let m = unsafe { (*self.slot.get()).take() };
-        if m.is_some() {
-            self.has.store(false, Ordering::Relaxed);
-        }
-        self.lock.unlock();
-        m
+        let _guard = self.lock.lock();
+        self.slot.with_mut(|p| {
+            // SAFETY: lock held, as in `deliver`.
+            let m = unsafe { (*p).take() };
+            if m.is_some() {
+                self.has.store(false, Ordering::Relaxed);
+            }
+            m
+        })
     }
 
     fn has_message(&self) -> bool {
@@ -120,43 +166,71 @@ impl<M: Copy + Send> Mailbox<M> for SpinMailbox<M> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::super::conformance;
     use super::*;
 
     #[test]
     fn spinlock_excludes() {
-        // Two threads increment a shared counter under the lock; no lost
-        // updates means mutual exclusion held.
+        // Threads increment a shared counter under the lock; no lost
+        // updates means mutual exclusion held. (The loom suite proves
+        // this over all interleavings; this is the full-speed version.)
+        let (threads, iters) = if cfg!(miri) { (2u32, 100u64) } else { (4, 50_000) };
         let lock = SpinLock::new();
         let counter = UnsafeCell::new(0u64);
         struct Shared<'a>(&'a SpinLock, &'a UnsafeCell<u64>);
+        // SAFETY: the cell is only dereferenced while the lock is held.
         unsafe impl Sync for Shared<'_> {}
         let shared = Shared(&lock, &counter);
         std::thread::scope(|s| {
-            for _ in 0..4 {
+            for _ in 0..threads {
                 let sh = &shared;
                 s.spawn(move || {
-                    for _ in 0..50_000 {
-                        sh.0.lock();
-                        unsafe { *sh.1.get() += 1 };
-                        sh.0.unlock();
+                    for _ in 0..iters {
+                        let _guard = sh.0.lock();
+                        // SAFETY: guard held for the increment.
+                        sh.1.with_mut(|p| unsafe { *p += 1 });
                     }
                 });
             }
         });
-        assert_eq!(unsafe { *counter.get() }, 200_000);
+        // SAFETY: all threads joined; no concurrent access remains.
+        let total = counter.with(|p| unsafe { *p });
+        assert_eq!(total, u64::from(threads) * iters);
     }
 
     #[test]
     fn try_lock_fails_when_held() {
         let lock = SpinLock::new();
-        assert!(lock.try_lock());
-        assert!(!lock.try_lock());
-        lock.unlock();
-        assert!(lock.try_lock());
-        lock.unlock();
+        let g = lock.try_lock();
+        assert!(g.is_some());
+        assert!(lock.try_lock().is_none());
+        drop(g);
+        let g2 = lock.try_lock();
+        assert!(g2.is_some());
+        drop(g2);
+    }
+
+    #[test]
+    fn guard_drop_releases() {
+        let lock = SpinLock::new();
+        {
+            let _guard = lock.lock();
+            assert!(lock.try_lock().is_none());
+        }
+        // Guard dropped → lock free again.
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn raw_unlock_is_available_to_owners() {
+        let lock = SpinLock::new();
+        let guard = lock.lock();
+        std::mem::forget(guard);
+        // SAFETY: this thread owns the lock (guard forgotten above).
+        unsafe { lock.unlock() };
+        assert!(lock.try_lock().is_some());
     }
 
     #[test]

@@ -15,10 +15,15 @@
 //! empty→occupied transition is observed under its own synchronisation);
 //! the pull engine, whose senders enqueue *out-neighbours*, deduplicates
 //! with [`EpochTags`].
+//!
+//! Synchronisation state comes from [`crate::sync`], so the shard
+//! handoff (worker-exclusive writes during a parallel region, then
+//! orchestrator-exclusive drain after the barrier) is model-checked by
+//! the loom suite in `tests/loom.rs`.
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Mutex;
+use crate::sync::atomic::{AtomicU32, Ordering};
+use crate::sync::cell::UnsafeCell;
+use crate::sync::Mutex;
 
 use crossbeam::utils::CachePadded;
 use ipregel_graph::VertexIndex;
@@ -46,13 +51,22 @@ pub struct Worklist {
 // SAFETY: see the safety model above — shards are disjoint per worker
 // thread during parallel regions, and exclusively owned between them.
 unsafe impl Sync for Worklist {}
+// SAFETY: moving the worklist moves plain owned Vecs; nothing is
+// thread-affine.
 unsafe impl Send for Worklist {}
 
 impl Worklist {
     /// A worklist for a graph of `slots` vertices, sharded for the
     /// current rayon pool (engines construct it inside their pool).
     pub fn new(slots: usize) -> Self {
-        let shards = rayon::current_num_threads().max(1);
+        Self::with_shards(slots, rayon::current_num_threads().max(1))
+    }
+
+    /// A worklist with an explicit shard count. Exposed for tests (the
+    /// loom suite models the shard handoff without a rayon pool); the
+    /// engines use [`Worklist::new`].
+    pub fn with_shards(slots: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
         let per_shard = (slots / shards).max(16);
         let shards = (0..shards)
             .map(|_| CachePadded::new(UnsafeCell::new(Vec::with_capacity(per_shard))))
@@ -66,20 +80,42 @@ impl Worklist {
     #[inline]
     pub fn push(&self, v: VertexIndex) {
         match rayon::current_thread_index() {
-            Some(i) => {
-                // SAFETY: worker `i` is the only thread that ever touches
-                // shard `i` inside a parallel region.
-                let shard = unsafe { &mut *self.shards[i % self.shards.len()].get() };
-                shard.push(v);
-            }
+            // SAFETY: worker `i` is the only thread that ever touches
+            // shard `i` inside a parallel region (rayon worker indices
+            // are unique within the pool).
+            Some(i) => unsafe { self.push_to_shard(i % self.shards.len(), v) },
             None => self.fallback.lock().expect("worklist fallback poisoned").push(v),
         }
     }
 
+    /// Append `v` to a specific shard.
+    ///
+    /// [`Worklist::push`] derives the shard from the rayon worker index;
+    /// the loom suite calls this directly (one model thread per shard)
+    /// so the model checker can verify the handoff protocol itself.
+    ///
+    /// # Safety
+    /// During a parallel region a shard must be touched by exactly one
+    /// thread; the caller picks the shard and therefore owns that
+    /// argument. Under loom the access is tracked, so a violation fails
+    /// the model instead of being undefined behaviour.
+    #[inline]
+    pub unsafe fn push_to_shard(&self, shard: usize, v: VertexIndex) {
+        self.shards[shard % self.shards.len()].with_mut(|p| {
+            // SAFETY: the fn's contract gives this thread exclusive
+            // ownership of the shard for the current parallel region.
+            unsafe { (*p).push(v) }
+        });
+    }
+
     /// Number of queued vertices (post-barrier).
     pub fn len(&self) -> usize {
-        // SAFETY: called between parallel regions; no concurrent pushes.
-        let sharded: usize = self.shards.iter().map(|s| unsafe { (*s.get()).len() }).sum();
+        let sharded: usize = self
+            .shards
+            .iter()
+            // SAFETY: called between parallel regions; no concurrent pushes.
+            .map(|s| s.with(|p| unsafe { (*p).len() }))
+            .sum();
         sharded + self.fallback.lock().expect("worklist fallback poisoned").len()
     }
 
@@ -88,12 +124,14 @@ impl Worklist {
         self.len() == 0
     }
 
-    /// Copy out the queued vertices (post-barrier; shard order).
+    /// Copy out the queued vertices (post-barrier; shard order, then
+    /// fallback entries). Does not consume: pair with [`Worklist::clear`]
+    /// before the next superstep, or entries would be drained twice.
     pub fn drain_to_vec(&self) -> Vec<VertexIndex> {
         let mut out = Vec::with_capacity(self.len());
         for s in self.shards.iter() {
             // SAFETY: called between parallel regions.
-            out.extend_from_slice(unsafe { &*s.get() });
+            s.with(|p| out.extend_from_slice(unsafe { &*p }));
         }
         out.extend_from_slice(&self.fallback.lock().expect("worklist fallback poisoned"));
         out
@@ -103,7 +141,7 @@ impl Worklist {
     pub fn clear(&self) {
         for s in self.shards.iter() {
             // SAFETY: called between parallel regions.
-            unsafe { (*s.get()).clear() };
+            s.with_mut(|p| unsafe { (*p).clear() });
         }
         self.fallback.lock().expect("worklist fallback poisoned").clear();
     }
@@ -114,7 +152,7 @@ impl Worklist {
         self.shards
             .iter()
             // SAFETY: called between parallel regions.
-            .map(|s| unsafe { (*s.get()).capacity() } * std::mem::size_of::<VertexIndex>())
+            .map(|s| s.with(|p| unsafe { (*p).capacity() }) * std::mem::size_of::<VertexIndex>())
             .sum::<usize>()
             + self.fallback.lock().expect("worklist fallback poisoned").capacity()
                 * std::mem::size_of::<VertexIndex>()
@@ -160,11 +198,11 @@ impl EpochTags {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use rayon::prelude::*;
-    use std::collections::HashSet;
+    use std::collections::{HashMap, HashSet};
 
     #[test]
     fn push_and_drain() {
@@ -181,11 +219,12 @@ mod tests {
 
     #[test]
     fn concurrent_pushes_all_land() {
-        let wl = Worklist::new(10_000);
-        (0..10_000u32).into_par_iter().for_each(|i| wl.push(i));
-        assert_eq!(wl.len(), 10_000);
+        let n: u32 = if cfg!(miri) { 256 } else { 10_000 };
+        let wl = Worklist::new(n as usize);
+        (0..n).into_par_iter().for_each(|i| wl.push(i));
+        assert_eq!(wl.len(), n as usize);
         let set: HashSet<u32> = wl.drain_to_vec().into_iter().collect();
-        assert_eq!(set.len(), 10_000);
+        assert_eq!(set.len(), n as usize);
     }
 
     #[test]
@@ -195,6 +234,42 @@ mod tests {
         wl.clear();
         wl.push(2);
         assert_eq!(wl.drain_to_vec(), vec![2]);
+    }
+
+    #[test]
+    fn fallback_pushes_merge_into_drain_exactly_once() {
+        // Regression test for the mutex fallback path: pushes from
+        // threads outside the rayon pool must land in `fallback`, be
+        // counted by `len`, appear in a drain exactly once alongside the
+        // sharded entries, and be removed by `clear`.
+        let wl = Worklist::new(64);
+        // The orchestrating (test) thread is not a rayon worker.
+        assert!(rayon::current_thread_index().is_none());
+        wl.push(100); // fallback entry #1
+        let n_pool: u32 = if cfg!(miri) { 8 } else { 32 };
+        // Worker-shard entries from inside the pool.
+        (0..n_pool).into_par_iter().for_each(|i| wl.push(i));
+        // A plain OS thread (also not a rayon worker) → fallback #2.
+        std::thread::scope(|s| {
+            s.spawn(|| wl.push(101));
+        });
+        let expected = n_pool as usize + 2;
+        assert_eq!(wl.len(), expected, "fallback entries must be counted");
+        let drained = wl.drain_to_vec();
+        assert_eq!(drained.len(), expected);
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for v in &drained {
+            *counts.entry(*v).or_insert(0) += 1;
+        }
+        assert!(counts.values().all(|&c| c == 1), "every entry exactly once: {counts:?}");
+        assert!(counts.contains_key(&100) && counts.contains_key(&101));
+        // bytes() must see the fallback vec's storage too.
+        assert!(wl.bytes() >= expected * std::mem::size_of::<VertexIndex>());
+        // clear() empties the fallback as well: a fresh drain is empty,
+        // so nothing can ever be merged twice across supersteps.
+        wl.clear();
+        assert!(wl.is_empty());
+        assert_eq!(wl.drain_to_vec(), Vec::<u32>::new());
     }
 
     #[test]
@@ -209,17 +284,18 @@ mod tests {
 
     #[test]
     fn concurrent_claims_grant_one_winner() {
+        let (epochs, claimers) = if cfg!(miri) { (5u32, 8) } else { (50, 64) };
         let tags = EpochTags::new(1);
-        for epoch in 1..50u32 {
+        for epoch in 1..epochs {
             let winners: u32 =
-                (0..64).into_par_iter().map(|_| u32::from(tags.claim(0, epoch))).sum();
+                (0..claimers).into_par_iter().map(|_| u32::from(tags.claim(0, epoch))).sum();
             assert_eq!(winners, 1, "epoch {epoch} had {winners} winners");
         }
     }
 
     #[test]
     fn dedup_keeps_one_entry_per_vertex() {
-        let slots = 256;
+        let slots = if cfg!(miri) { 32 } else { 256 };
         let wl = Worklist::new(slots);
         let tags = EpochTags::new(slots);
         (0..slots * 16).into_par_iter().for_each(|i| {

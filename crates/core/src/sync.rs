@@ -1,0 +1,160 @@
+//! Synchronisation shim: `std` primitives normally, [loom] under
+//! `--cfg loom`.
+//!
+//! Every atomic, lock, and interior-mutability cell used by the
+//! concurrency core (the spinlock, the three mailboxes, the worklist)
+//! is imported from this module rather than from `std` directly. A
+//! normal build re-exports the `std` types at zero cost; compiling the
+//! workspace with `RUSTFLAGS="--cfg loom"` swaps in loom's
+//! model-checked doubles, and `crates/core/tests/loom.rs` then
+//! exhaustively explores the interleavings of the key protocols
+//! (spinlock mutual exclusion, the mailbox empty→occupied transition
+//! the selection bypass relies on, worklist shard handoff).
+//!
+//! Two deliberate deviations from a plain re-export:
+//!
+//! * [`cell::UnsafeCell`] exposes loom's closure-based `with` /
+//!   `with_mut` API in both modes, because loom tracks each access and
+//!   therefore cannot offer `std`'s bare `get()`. The std version is
+//!   `#[repr(transparent)]` and compiles to the same code as a raw
+//!   `std::cell::UnsafeCell` access.
+//! * `sync_cell::SharedSlice` is *not* expressed in terms of this
+//!   module's cell: it is built by viewing a `&mut [T]` in place, and
+//!   loom's `UnsafeCell` is not layout-compatible with `T`. It uses a
+//!   raw-pointer representation instead (sound under Stacked Borrows,
+//!   compiles unchanged under loom) and is covered by the
+//!   `check-disjoint` dynamic checker plus Miri/TSan rather than by
+//!   loom.
+//!
+//! [loom]: https://docs.rs/loom
+
+/// Atomic integer and boolean types plus memory orderings.
+#[cfg(not(loom))]
+pub mod atomic {
+    pub use std::sync::atomic::{
+        fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+}
+
+/// Atomic integer and boolean types plus memory orderings (loom doubles).
+#[cfg(loom)]
+pub mod atomic {
+    pub use loom::sync::atomic::{
+        fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+}
+
+#[cfg(not(loom))]
+pub use std::sync::{Mutex, MutexGuard};
+
+#[cfg(loom)]
+pub use loom::sync::{Mutex, MutexGuard};
+
+/// Busy-wait hinting.
+pub mod hint {
+    /// Emit a spin-loop hint; under loom this yields to the model's
+    /// scheduler instead (a tight spin would never let the model make
+    /// progress on the other thread).
+    #[inline]
+    pub fn spin_loop() {
+        #[cfg(not(loom))]
+        std::hint::spin_loop();
+        #[cfg(loom)]
+        loom::thread::yield_now();
+    }
+}
+
+/// Interior mutability with loom-compatible access tracking.
+pub mod cell {
+    /// An [`std::cell::UnsafeCell`] (or loom's checked double) behind
+    /// loom's closure-based access API.
+    ///
+    /// `with` grants a read pointer, `with_mut` a write pointer; the
+    /// pointer must not escape the closure. Dereferencing is still
+    /// `unsafe` — the caller owns the no-concurrent-conflicting-access
+    /// argument — but under loom every `with`/`with_mut` is recorded,
+    /// so an unsound argument fails the model instead of being UB.
+    #[cfg(not(loom))]
+    #[derive(Debug, Default)]
+    #[repr(transparent)]
+    pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+    #[cfg(not(loom))]
+    impl<T> UnsafeCell<T> {
+        /// A new cell owning `data`.
+        pub const fn new(data: T) -> Self {
+            UnsafeCell(std::cell::UnsafeCell::new(data))
+        }
+
+        /// Run `f` with a read pointer to the contents.
+        #[inline]
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Run `f` with a write pointer to the contents.
+        #[inline]
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+    }
+
+    /// Loom's checked cell behind the same API.
+    #[cfg(loom)]
+    #[derive(Debug)]
+    pub struct UnsafeCell<T>(loom::cell::UnsafeCell<T>);
+
+    #[cfg(loom)]
+    impl<T> UnsafeCell<T> {
+        /// A new cell owning `data`.
+        pub fn new(data: T) -> Self {
+            UnsafeCell(loom::cell::UnsafeCell::new(data))
+        }
+
+        /// Run `f` with a read pointer to the contents (tracked).
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            self.0.with(f)
+        }
+
+        /// Run `f` with a write pointer to the contents (tracked).
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            self.0.with_mut(f)
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::atomic::{AtomicU32, Ordering};
+    use super::cell::UnsafeCell;
+
+    #[test]
+    fn shim_atomics_are_std_atomics() {
+        let a = AtomicU32::new(1);
+        a.store(7, Ordering::Release);
+        assert_eq!(a.load(Ordering::Acquire), 7);
+        assert_eq!(std::mem::size_of::<AtomicU32>(), 4);
+    }
+
+    #[test]
+    fn cell_with_and_with_mut_round_trip() {
+        let c = UnsafeCell::new(5u64);
+        // SAFETY: single-threaded test; no concurrent access exists.
+        c.with_mut(|p| unsafe { *p += 1 });
+        // SAFETY: as above.
+        assert_eq!(c.with(|p| unsafe { *p }), 6);
+    }
+
+    #[test]
+    fn cell_is_layout_transparent() {
+        // SharedSlice-style code may rely on the std cell being free;
+        // the wrapper must not add size or alignment.
+        assert_eq!(std::mem::size_of::<UnsafeCell<u64>>(), std::mem::size_of::<u64>());
+        assert_eq!(std::mem::align_of::<UnsafeCell<u64>>(), std::mem::align_of::<u64>());
+    }
+
+    #[test]
+    fn spin_loop_hint_is_callable() {
+        super::hint::spin_loop();
+    }
+}

@@ -11,48 +11,100 @@
 //! This is the standard "split by index" pattern from the concurrency
 //! literature (cf. Rust Atomics and Locks, ch. 1: exclusive access can be
 //! subdivided structurally); `unsafe` is confined to this module.
+//!
+//! # Representation
+//!
+//! The view is a raw base pointer + length captured from the `&mut [T]`,
+//! not a `&[UnsafeCell<T>]` cast. The two are equivalent for `std`, but
+//! the raw form has two advantages: it is the shape Miri's Stacked
+//! Borrows reasons about most directly (every `&mut T` handed out is a
+//! short-lived reborrow of the original raw pointer, never of another
+//! reference), and it compiles unchanged under `--cfg loom`, where
+//! loom's `UnsafeCell` is not layout-compatible with `T` and the cast
+//! would be unsound.
+//!
+//! # Dynamic contract checking (`check-disjoint`)
+//!
+//! The disjointness argument lives in the engines, not in the type. With
+//! the `check-disjoint` feature the view additionally carries one atomic
+//! borrow tag per index: [`SharedSlice::get_mut`] claims the tag and the
+//! returned [`SliceRefMut`] guard releases it on drop, so two overlapping
+//! mutable borrows of the same index — an engine bug that would be UB in
+//! a normal build — panic deterministically instead. The stress suites
+//! run with this feature on.
 
-use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+
+#[cfg(feature = "check-disjoint")]
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Shared view of `&mut [T]` allowing per-index exclusive access.
 pub struct SharedSlice<'a, T> {
-    cells: &'a [UnsafeCell<T>],
+    base: *mut T,
+    len: usize,
+    /// One tag per index: 0 = unclaimed, 1 = mutably borrowed.
+    #[cfg(feature = "check-disjoint")]
+    tags: Box<[AtomicU8]>,
+    /// Holds the exclusive borrow of the underlying slice for `'a`
+    /// (and keeps `T` invariant, exactly like `&'a mut [T]`).
+    _marker: PhantomData<&'a mut [T]>,
 }
 
 // SAFETY: access is disjoint by engine contract; T crossing threads
 // requires T: Send. Sync is what lets rayon share the view.
 unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+// SAFETY: the view owns the unique borrow of the slice for 'a, so
+// moving the view between threads is moving a `&mut [T]`: T: Send.
 unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
 
 impl<'a, T> SharedSlice<'a, T> {
     /// Wrap an exclusive slice.
     pub fn new(slice: &'a mut [T]) -> Self {
-        // SAFETY: UnsafeCell<T> has the same layout as T; we own the
-        // unique borrow for 'a, so re-exposing it cell-wise is sound.
-        let cells = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
-        SharedSlice { cells }
+        SharedSlice {
+            len: slice.len(),
+            base: slice.as_mut_ptr(),
+            #[cfg(feature = "check-disjoint")]
+            tags: (0..slice.len()).map(|_| AtomicU8::new(0)).collect(),
+            _marker: PhantomData,
+        }
     }
 
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.len
     }
 
     /// Whether the slice is empty.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.len == 0
     }
 
-    /// Exclusive reference to element `i`.
+    /// Exclusive access to element `i`, released when the returned
+    /// guard drops.
     ///
     /// # Safety
     /// No other thread may access index `i` for the lifetime of the
-    /// returned reference. The engines guarantee this by processing each
-    /// vertex at most once per superstep.
+    /// returned guard. The engines guarantee this by processing each
+    /// vertex at most once per superstep. With the `check-disjoint`
+    /// feature a violation panics instead of being undefined behaviour.
+    ///
+    /// # Panics
+    /// Under `check-disjoint`, if index `i` is already mutably borrowed.
     #[inline]
-    #[allow(clippy::mut_from_ref)]
-    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
-        &mut *self.cells[i].get()
+    pub unsafe fn get_mut(&self, i: usize) -> SliceRefMut<'_, T> {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        #[cfg(feature = "check-disjoint")]
+        if self.tags[i].swap(1, Ordering::Acquire) != 0 {
+            panic!("SharedSlice: overlapping get_mut on index {i} — engine disjointness violated");
+        }
+        SliceRefMut {
+            // SAFETY: i < len, so the offset stays inside the original
+            // slice allocation.
+            ptr: unsafe { self.base.add(i) },
+            #[cfg(feature = "check-disjoint")]
+            tag: &self.tags[i],
+            _marker: PhantomData,
+        }
     }
 
     /// Shared read of element `i`.
@@ -61,23 +113,74 @@ impl<'a, T> SharedSlice<'a, T> {
     /// No thread may hold a mutable reference to index `i` concurrently.
     /// Used for read-only phases (e.g. the pull engine's gather, which
     /// reads outboxes written in the *previous* superstep).
+    ///
+    /// # Panics
+    /// Under `check-disjoint`, if index `i` is currently mutably
+    /// borrowed through this view.
     #[inline]
     pub unsafe fn get(&self, i: usize) -> &T {
-        &*self.cells[i].get()
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        #[cfg(feature = "check-disjoint")]
+        if self.tags[i].load(Ordering::Acquire) != 0 {
+            panic!("SharedSlice: get on index {i} while mutably borrowed — engine phase violated");
+        }
+        // SAFETY: i < len; caller guarantees no concurrent writer.
+        unsafe { &*self.base.add(i) }
     }
 }
 
-#[cfg(test)]
+/// Exclusive borrow of one element of a [`SharedSlice`], returned by
+/// [`SharedSlice::get_mut`].
+///
+/// Behaves like `&mut T` (through `Deref`/`DerefMut`); under the
+/// `check-disjoint` feature its drop releases the index's borrow tag.
+pub struct SliceRefMut<'s, T> {
+    ptr: *mut T,
+    #[cfg(feature = "check-disjoint")]
+    tag: &'s AtomicU8,
+    _marker: PhantomData<&'s mut T>,
+}
+
+impl<T> std::ops::Deref for SliceRefMut<'_, T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        // SAFETY: the guard was created by get_mut under the caller's
+        // exclusivity guarantee; ptr is in bounds and live for 's.
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T> std::ops::DerefMut for SliceRefMut<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in Deref; the guard itself is borrowed mutably, so
+        // this reference cannot be duplicated through the guard.
+        unsafe { &mut *self.ptr }
+    }
+}
+
+#[cfg(feature = "check-disjoint")]
+impl<T> Drop for SliceRefMut<'_, T> {
+    fn drop(&mut self) {
+        self.tag.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use rayon::prelude::*;
 
     #[test]
     fn disjoint_parallel_writes_land() {
-        let mut data = vec![0u64; 1000];
+        // Miri runs threaded code slowly; shrink but keep the shape.
+        let n: usize = if cfg!(miri) { 64 } else { 1000 };
+        let mut data = vec![0u64; n];
         {
             let view = SharedSlice::new(&mut data);
-            (0..1000usize).into_par_iter().for_each(|i| {
+            (0..n).into_par_iter().for_each(|i| {
                 // SAFETY: indices are distinct.
                 unsafe { *view.get_mut(i) = i as u64 * 2 };
             });
@@ -89,9 +192,70 @@ mod tests {
     fn reads_see_previous_phase_writes() {
         let mut data = vec![1u32, 2, 3];
         let view = SharedSlice::new(&mut data);
+        // SAFETY: no mutable borrows exist during these reads.
         let total: u32 = (0..3).map(|i| unsafe { *view.get(i) }).sum();
         assert_eq!(total, 6);
         assert_eq!(view.len(), 3);
         assert!(!view.is_empty());
+    }
+
+    #[test]
+    fn guard_write_then_read_round_trips() {
+        let mut data = vec![0u32; 4];
+        let view = SharedSlice::new(&mut data);
+        {
+            // SAFETY: single-threaded; index 2 borrowed once.
+            let mut g = unsafe { view.get_mut(2) };
+            *g = 9;
+            assert_eq!(*g, 9);
+        }
+        // SAFETY: the guard above has been dropped.
+        assert_eq!(unsafe { *view.get(2) }, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_mut_bounds_checked() {
+        let mut data = vec![0u8; 2];
+        let view = SharedSlice::new(&mut data);
+        // SAFETY: never reached past the bounds assertion.
+        let _ = unsafe { view.get_mut(2) };
+    }
+
+    #[cfg(feature = "check-disjoint")]
+    #[test]
+    #[should_panic(expected = "overlapping get_mut")]
+    fn overlapping_get_mut_panics() {
+        let mut data = vec![0u32; 4];
+        let view = SharedSlice::new(&mut data);
+        // SAFETY: the second (contract-violating) borrow is what the
+        // checker must catch — it panics before any aliasing occurs.
+        let _a = unsafe { view.get_mut(1) };
+        let _b = unsafe { view.get_mut(1) };
+    }
+
+    #[cfg(feature = "check-disjoint")]
+    #[test]
+    #[should_panic(expected = "while mutably borrowed")]
+    fn read_during_mutable_borrow_panics() {
+        let mut data = vec![0u32; 4];
+        let view = SharedSlice::new(&mut data);
+        // SAFETY: the read below violates the phase contract on
+        // purpose; the checker panics before the aliasing read.
+        let _a = unsafe { view.get_mut(3) };
+        let _ = unsafe { view.get(3) };
+    }
+
+    #[cfg(feature = "check-disjoint")]
+    #[test]
+    fn tag_released_on_drop_allows_reborrow() {
+        let mut data = vec![0u32; 1];
+        let view = SharedSlice::new(&mut data);
+        for i in 0..10u32 {
+            // SAFETY: sequential borrows; each guard drops before the next.
+            unsafe { *view.get_mut(0) += i };
+        }
+        // SAFETY: all guards dropped.
+        assert_eq!(unsafe { *view.get(0) }, 45);
     }
 }

@@ -112,10 +112,12 @@ fn run_naive_inner<P: VertexProgram>(
                         sent: 0,
                         halt_vote: false,
                     };
-                    let value = unsafe { values_view.get_mut(v as usize) };
-                    program.compute(value, &mut ctx);
+                    // SAFETY: each live slot visited once per superstep.
+                    let mut value = unsafe { values_view.get_mut(v as usize) };
+                    program.compute(&mut value, &mut ctx);
                     let halt = ctx.halt_vote;
                     let sent = ctx.sent;
+                    // SAFETY: each live slot visited once per superstep.
                     unsafe { *halted_view.get_mut(v as usize) = halt };
                     (sent, 1)
                 })

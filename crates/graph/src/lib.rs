@@ -25,6 +25,10 @@
 //! assert_eq!(g.in_neighbors(0), &[2]);
 //! ```
 
+// This crate needs no unsafe; keep it that way (see docs/INTERNALS.md,
+// "Safety model").
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod csr;
 pub mod error;

@@ -353,6 +353,7 @@ pub fn run_ooc<P: VertexProgram>(
                 .zip(slices.par_iter())
                 .map(|(&v, &(run, off_in_run, deg))| {
                     let inbox = cur_ref[v as usize].take();
+                    // SAFETY: active slots are distinct (scan order).
                     let is_halted = unsafe { *halted_view.get(v as usize) };
                     if is_halted && inbox.is_none() {
                         return 0;
@@ -372,8 +373,9 @@ pub fn run_ooc<P: VertexProgram>(
                         halt_vote: false,
                     };
                     // SAFETY: active slots are distinct (scan order).
-                    let value = unsafe { values_view.get_mut(v as usize) };
-                    program.compute(value, &mut ctx);
+                    let mut value = unsafe { values_view.get_mut(v as usize) };
+                    program.compute(&mut value, &mut ctx);
+                    // SAFETY: active slots are distinct (scan order).
                     unsafe { *halted_view.get_mut(v as usize) = ctx.halt_vote };
                     ctx.sent
                 })

@@ -21,6 +21,10 @@
 //! [`ipregel::FootprintReport`]s from real runs for the linearity that
 //! justifies the paper's extrapolation.
 
+// This crate needs no unsafe; keep it that way (see docs/INTERNALS.md,
+// "Safety model").
+#![forbid(unsafe_code)]
+
 pub mod compare;
 pub mod layout;
 pub mod locks;

@@ -175,6 +175,7 @@ pub fn simulate_full<P: VertexProgram>(
                         // SAFETY: partitions are disjoint; only worker w
                         // touches slot v this phase.
                         let msg = unsafe { inbox_view.get_mut(v as usize) }.take();
+                        // SAFETY: partitions are disjoint, as above.
                         let is_halted = unsafe { *halted_view.get(v as usize) };
                         if is_halted && msg.is_none() {
                             continue; // unfruitful scan check
@@ -188,9 +189,11 @@ pub fn simulate_full<P: VertexProgram>(
                             out: &mut out,
                             halt_vote: false,
                         };
-                        let value = unsafe { values_view.get_mut(v as usize) };
-                        program.compute(value, &mut ctx);
+                        // SAFETY: partitions are disjoint, as above.
+                        let mut value = unsafe { values_view.get_mut(v as usize) };
+                        program.compute(&mut value, &mut ctx);
                         let halt = ctx.halt_vote;
+                        // SAFETY: partitions are disjoint, as above.
                         unsafe { *halted_view.get_mut(v as usize) = halt };
                         out.executed += 1;
                     }
@@ -243,7 +246,7 @@ pub fn simulate_full<P: VertexProgram>(
                         out.outboxes[dst].for_each(|slot, m| {
                             // SAFETY: slot belongs to worker dst's
                             // partition; workers are disjoint.
-                            let cell = unsafe { inbox_view.get_mut(slot as usize) };
+                            let mut cell = unsafe { inbox_view.get_mut(slot as usize) };
                             match cell.as_mut() {
                                 Some(old) => P::combine(old, m),
                                 None => {

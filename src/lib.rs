@@ -14,6 +14,10 @@
 //!   architecture of the paper's Section 2 map);
 //! * [`ipregel_mem`] — memory-footprint models and projections.
 
+// This crate needs no unsafe; keep it that way (see docs/INTERNALS.md,
+// "Safety model").
+#![forbid(unsafe_code)]
+
 pub use femtograph_sim;
 pub use graphd_sim;
 pub use ipregel;
