@@ -30,6 +30,9 @@
 //!                           file, unweighted), seq the single-threaded
 //!                           oracle; combiner/bypass apply to ipregel only
 //!   --bypass                enable the selection bypass (Section 4)
+//!   --schedule S            vertex | edge | adaptive — how supersteps are
+//!                           cut into parallel chunks (default vertex;
+//!                           edge balances by degree, for skewed graphs)
 //!   --threads N             rayon threads (default: all cores)
 //!   --top K                 print the K most extreme results (default 10)
 //!   --rounds N              PageRank iterations (default 30)
@@ -53,7 +56,7 @@ use std::fs::File;
 use std::io::BufReader;
 use std::path::Path;
 
-use ipregel::{run, CombinerKind, RunConfig, RunOutput, Version, VertexProgram};
+use ipregel::{run, CombinerKind, RunConfig, RunOutput, Schedule, Version, VertexProgram};
 use ipregel_apps::{Bfs, Hashmin, PageRank, Sssp, WeightedSssp};
 use ipregel_graph::loaders::{load_dimacs_gr, load_edge_list, load_konect, read_binary};
 use ipregel_graph::{Graph, GraphStats, NeighborMode};
@@ -63,6 +66,7 @@ pub const USAGE: &str = "usage: ipregel \
 <pagerank|sssp|bfs|components|maxvalue|kcore|widest|ppr|diameter|bipartite|stats|validate|convert> \
 --graph FILE \
 [--format edgelist|dimacs|konect|binary] [--combiner mutex|spinlock|broadcast] [--bypass] \
+[--schedule vertex|edge|adaptive] \
 [--threads N] [--top K] [--rounds N] [--damping F] [--source ID] [--weighted] [--k N] \
 [--out FILE --out-format edgelist|dimacs|binary]";
 
@@ -109,6 +113,8 @@ pub struct Options {
     pub combiner: Option<CombinerKind>,
     /// Selection bypass toggle.
     pub bypass: bool,
+    /// Superstep scheduling policy.
+    pub schedule: Schedule,
     /// Thread count.
     pub threads: Option<usize>,
     /// Results to print.
@@ -151,6 +157,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         format: None,
         combiner: None,
         bypass: false,
+        schedule: Schedule::default(),
         threads: None,
         top: 10,
         rounds: 30,
@@ -178,6 +185,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 })
             }
             "--bypass" => opts.bypass = true,
+            "--schedule" => opts.schedule = value()?.parse().map_err(CliError)?,
             "--threads" => {
                 opts.threads =
                     Some(value()?.parse().map_err(|e| CliError(format!("bad --threads: {e}")))?)
@@ -263,7 +271,8 @@ fn run_app<P: VertexProgram>(
     version: Version,
     opts: &Options,
 ) -> RunOutput<P::Value> {
-    let cfg = RunConfig { threads: opts.threads, ..RunConfig::default() };
+    let cfg =
+        RunConfig { threads: opts.threads, schedule: opts.schedule, ..RunConfig::default() };
     match opts.engine {
         EngineChoice::IPregel => run(g, p, version, &cfg),
         EngineChoice::Naive => femtograph_sim::run_naive(g, p, &cfg),
@@ -397,7 +406,11 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 return err(format!("source vertex {} is not in the graph", opts.source));
             }
             let version = version_for(&opts, CombinerKind::Spinlock);
-            let cfg = RunConfig { threads: opts.threads, ..RunConfig::default() };
+            let cfg = RunConfig {
+                threads: opts.threads,
+                schedule: opts.schedule,
+                ..RunConfig::default()
+            };
             match ipregel_apps::pseudo_diameter(&g, opts.source, version, &cfg) {
                 Some(est) => text.push_str(&format!(
                     "pseudo-diameter: {} (between vertices {} and {})\n",
@@ -560,6 +573,48 @@ mod tests {
         assert_eq!(o.combiner, Some(CombinerKind::Mutex));
         assert!(o.bypass && o.weighted);
         assert_eq!((o.threads, o.top, o.source), (Some(4), 3, 7));
+    }
+
+    #[test]
+    fn parses_schedule_policies() {
+        assert_eq!(parse_args(&args("sssp --graph g")).unwrap().schedule, Schedule::VertexBalanced);
+        for (value, expect) in [
+            ("vertex", Schedule::VertexBalanced),
+            ("edge", Schedule::EdgeBalanced),
+            ("adaptive", Schedule::Adaptive),
+        ] {
+            let o = parse_args(&args(&format!("sssp --graph g --schedule {value}"))).unwrap();
+            assert_eq!(o.schedule, expect);
+        }
+        let e = parse_args(&args("sssp --graph g --schedule chaotic")).unwrap_err();
+        assert!(e.0.contains("chaotic"), "{e}");
+    }
+
+    #[test]
+    fn schedules_agree_through_the_cli() {
+        // A star with a hub plus a chain: same answers whichever way the
+        // supersteps are chunked.
+        let mut edges = String::new();
+        for i in 1..40u32 {
+            edges.push_str(&format!("0 {i}\n{i} 0\n"));
+        }
+        edges.push_str("40 0\n0 40\n");
+        let f = temp_graph(&edges, "txt");
+        let mut outputs = Vec::new();
+        for schedule in ["vertex", "edge", "adaptive"] {
+            let out = run_cli(&args(&format!(
+                "components --graph {} --schedule {schedule} --threads 2",
+                f.0.display()
+            )))
+            .unwrap();
+            let stable: Vec<&str> = out
+                .lines()
+                .filter(|l| l.starts_with("components") || l.starts_with("  "))
+                .collect();
+            outputs.push(stable.join("\n"));
+        }
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]), "{outputs:?}");
+        assert!(outputs[0].contains("components: 1"), "{outputs:?}");
     }
 
     #[test]

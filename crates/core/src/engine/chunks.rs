@@ -1,0 +1,263 @@
+//! Superstep scheduling: cutting an active list into parallel chunks.
+//!
+//! The paper's conclusion lists load balancing as the open problem, and
+//! its follow-up (Capelli & Brown, arXiv:2010.01542) shows why: splitting
+//! by vertex count strands a hub vertex's millions of edges in one task.
+//! This module is the engine-side policy switch; the actual cut machinery
+//! — binary searches over the CSR offsets array — lives in
+//! [`ipregel_graph::schedule`].
+//!
+//! The flow per superstep: the engine calls [`plan`] with the active list
+//! and the direction-relevant CSR (out-edges for push, in-edges for pull —
+//! weight must track where the superstep's work actually is), executes one
+//! rayon task per returned chunk, and records per-chunk edge weights and
+//! durations into [`crate::metrics::LoadStats`] so imbalance is observable
+//! in `RunStats` rather than inferred from wall clock.
+
+use std::str::FromStr;
+
+use ipregel_graph::csr::Csr;
+use ipregel_graph::schedule::{
+    count_balanced, edge_balanced_list, edge_balanced_range, Chunk,
+};
+use ipregel_graph::VertexIndex;
+
+/// How each superstep's active list is cut into parallel chunks.
+///
+/// All policies produce bit-identical results — scheduling only moves
+/// vertex executions between threads, never reorders combining within a
+/// mailbox — so the choice is purely a performance knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Schedule {
+    /// Equal *vertex count* per chunk — the paper's implicit policy and
+    /// the default. Optimal when degrees are near-uniform; collapses on
+    /// power-law graphs where one chunk inherits a hub.
+    #[default]
+    VertexBalanced,
+    /// Equal *edge weight* per chunk (degree + 1 per vertex), cut by
+    /// binary search over the CSR offsets. Bounded imbalance on skewed
+    /// graphs at O(chunks · log |V|) planning cost per superstep.
+    EdgeBalanced,
+    /// Pick per run: edge-balanced when the graph's maximum degree is
+    /// heavy enough to overflow a vertex-balanced chunk (the one O(|V|)
+    /// skew probe happens once, at engine start), vertex-balanced
+    /// otherwise.
+    Adaptive,
+}
+
+impl Schedule {
+    /// Stable lowercase label (CLI value, bench record field).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Schedule::VertexBalanced => "vertex",
+            Schedule::EdgeBalanced => "edge",
+            Schedule::Adaptive => "adaptive",
+        }
+    }
+
+    /// Every policy, for harness sweeps.
+    pub fn all() -> [Schedule; 3] {
+        [Schedule::VertexBalanced, Schedule::EdgeBalanced, Schedule::Adaptive]
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "vertex" | "vertex-balanced" => Ok(Schedule::VertexBalanced),
+            "edge" | "edge-balanced" => Ok(Schedule::EdgeBalanced),
+            "adaptive" => Ok(Schedule::Adaptive),
+            other => Err(format!(
+                "unknown schedule '{other}' (expected vertex, edge, or adaptive)"
+            )),
+        }
+    }
+}
+
+/// Chunks to aim for per pool thread. More than 1 lets rayon's work
+/// stealing absorb residual imbalance (a chunk's true cost is its edges
+/// *visited*, which the planner can only approximate by degree); too many
+/// wastes planning and accounting work.
+pub(crate) const CHUNKS_PER_THREAD: usize = 4;
+
+/// [`Schedule`] with [`Schedule::Adaptive`] collapsed to a concrete cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Resolved {
+    VertexBalanced,
+    EdgeBalanced,
+}
+
+/// Chunks to cut for the current rayon pool. Engines call this inside
+/// `in_pool`, so `current_num_threads` reflects `RunConfig::threads`.
+pub(crate) fn max_chunks() -> usize {
+    rayon::current_num_threads().max(1) * CHUNKS_PER_THREAD
+}
+
+/// Collapse `schedule` against `csr` (the direction the engine walks),
+/// once per run.
+///
+/// The adaptive probe: a vertex-balanced chunk ideally carries
+/// `total_weight / max_chunks`; if the heaviest single vertex exceeds
+/// twice that, a chunk containing it is guaranteed ≥ 2× ideal — exactly
+/// the collapse edge-balancing prevents — so switch. The probe scans the
+/// offsets once, O(|V|), amortised over the whole run.
+pub(crate) fn resolve(schedule: Schedule, csr: &Csr, max_chunks: usize) -> Resolved {
+    match schedule {
+        Schedule::VertexBalanced => Resolved::VertexBalanced,
+        Schedule::EdgeBalanced => Resolved::EdgeBalanced,
+        Schedule::Adaptive => {
+            let offsets = csr.offsets();
+            let max_weight = offsets
+                .windows(2)
+                .map(|w| w[1] - w[0] + 1)
+                .max()
+                .unwrap_or(1);
+            let total = csr.num_edges() + csr.num_slots() as u64;
+            let ideal = (total / max_chunks.max(1) as u64).max(1);
+            if max_weight > 2 * ideal {
+                Resolved::EdgeBalanced
+            } else {
+                Resolved::VertexBalanced
+            }
+        }
+    }
+}
+
+/// One superstep's chunk plan: contiguous runs of positions in the active
+/// list, plus each chunk's planned edge weight (for
+/// [`crate::metrics::LoadStats`]).
+#[derive(Debug)]
+pub(crate) struct Plan {
+    pub chunks: Vec<Chunk>,
+    pub chunk_edges: Vec<u64>,
+}
+
+/// Cut `active` (ascending, duplicate-free slot indices — every selection
+/// path produces exactly that) into chunks under `resolved`, weighing
+/// vertices by their degree in `csr`.
+///
+/// When the active list covers *all* `slots` — superstep 0 on non-desolate
+/// maps, dense supersteps — it is necessarily the identity range
+/// `0..slots`, and the cut needs no per-vertex pass at all: the CSR
+/// offsets array is the weight prefix, binary-searched directly.
+pub(crate) fn plan(
+    resolved: Resolved,
+    active: &[VertexIndex],
+    slots: usize,
+    csr: &Csr,
+    grain: Option<usize>,
+) -> Plan {
+    let max_chunks = max_chunks();
+    let min_len = grain.unwrap_or(1).max(1);
+    let full_range = active.len() == slots;
+    let chunks = match resolved {
+        Resolved::VertexBalanced => count_balanced(active.len(), max_chunks, min_len),
+        Resolved::EdgeBalanced if full_range => edge_balanced_range(csr, max_chunks, min_len),
+        Resolved::EdgeBalanced => {
+            edge_balanced_list(active, |v| u64::from(csr.degree(v)), max_chunks, min_len)
+        }
+    };
+    let offsets = csr.offsets();
+    let chunk_edges = if full_range {
+        chunks.iter().map(|c| offsets[c.end] - offsets[c.start]).collect()
+    } else {
+        chunks
+            .iter()
+            .map(|c| active[c.start..c.end].iter().map(|&v| u64::from(csr.degree(v))).sum())
+            .collect()
+    };
+    Plan { chunks, chunk_edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr_of(degrees: &[u32]) -> Csr {
+        let mut edges = Vec::new();
+        let n = degrees.len() as u32;
+        for (v, &d) in degrees.iter().enumerate() {
+            for i in 0..d {
+                edges.push((v as u32, i % n));
+            }
+        }
+        Csr::from_edges(degrees.len(), &edges, None)
+    }
+
+    #[test]
+    fn schedule_labels_round_trip() {
+        for s in Schedule::all() {
+            assert_eq!(s.label().parse::<Schedule>().unwrap(), s);
+            assert_eq!(s.to_string(), s.label());
+        }
+        assert_eq!("edge-balanced".parse::<Schedule>().unwrap(), Schedule::EdgeBalanced);
+        assert!("chaotic".parse::<Schedule>().is_err());
+    }
+
+    #[test]
+    fn default_is_vertex_balanced() {
+        assert_eq!(Schedule::default(), Schedule::VertexBalanced);
+    }
+
+    #[test]
+    fn adaptive_resolves_by_skew() {
+        // Near-uniform: stays vertex-balanced.
+        let flat = csr_of(&[3; 64]);
+        assert_eq!(resolve(Schedule::Adaptive, &flat, 8), Resolved::VertexBalanced);
+        // One hub dominating the ideal chunk: switches.
+        let mut degrees = [1u32; 64];
+        degrees[10] = 1000;
+        let skewed = csr_of(&degrees);
+        assert_eq!(resolve(Schedule::Adaptive, &skewed, 8), Resolved::EdgeBalanced);
+        // The explicit policies resolve to themselves regardless of shape.
+        assert_eq!(resolve(Schedule::VertexBalanced, &skewed, 8), Resolved::VertexBalanced);
+        assert_eq!(resolve(Schedule::EdgeBalanced, &flat, 8), Resolved::EdgeBalanced);
+    }
+
+    #[test]
+    fn plan_covers_active_and_counts_edges() {
+        let mut degrees = [2u32; 40];
+        degrees[7] = 100;
+        let csr = csr_of(&degrees);
+        let active: Vec<u32> = (0..40).collect();
+        for resolved in [Resolved::VertexBalanced, Resolved::EdgeBalanced] {
+            let p = plan(resolved, &active, 40, &csr, None);
+            assert_eq!(p.chunks.len(), p.chunk_edges.len());
+            assert_eq!(p.chunks.first().unwrap().start, 0);
+            assert_eq!(p.chunks.last().unwrap().end, 40);
+            let total: u64 = p.chunk_edges.iter().sum();
+            assert_eq!(total, csr.num_edges(), "{resolved:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_plan_weighs_only_active_vertices() {
+        let mut degrees = [2u32; 40];
+        degrees[7] = 100;
+        let csr = csr_of(&degrees);
+        // Active subset excludes the hub entirely.
+        let active: Vec<u32> = (0..40).filter(|&v| v != 7).step_by(2).collect();
+        let p = plan(Resolved::EdgeBalanced, &active, 40, &csr, None);
+        let total: u64 = p.chunk_edges.iter().sum();
+        let expect: u64 = active.iter().map(|&v| u64::from(csr.degree(v))).sum();
+        assert_eq!(total, expect);
+        let covered: usize = p.chunks.iter().map(|c| c.end - c.start).sum();
+        assert_eq!(covered, active.len());
+    }
+
+    #[test]
+    fn grain_bounds_chunk_count_in_plans() {
+        let csr = csr_of(&[1; 100]);
+        let active: Vec<u32> = (0..100).collect();
+        let p = plan(Resolved::EdgeBalanced, &active, 100, &csr, Some(50));
+        assert!(p.chunks.len() <= 2, "{:?}", p.chunks);
+    }
+}

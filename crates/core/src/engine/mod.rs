@@ -6,12 +6,14 @@
 //! OpenMP), deliver messages, synchronise, repeat until no vertex is
 //! active and no message is in flight.
 
+pub mod chunks;
 pub mod pull;
 pub mod push;
 pub mod seq;
 
 use ipregel_graph::{AddressMap, VertexId};
 
+pub use crate::engine::chunks::Schedule;
 use crate::metrics::{FootprintReport, RunStats};
 
 /// Knobs common to every engine version.
@@ -27,11 +29,19 @@ pub struct RunConfig {
     pub threads: Option<usize>,
     /// Safety cap on supersteps; `None` runs to quiescence.
     pub max_supersteps: Option<usize>,
-    /// Minimum vertices per rayon task (load-balancing grain). `None`
-    /// lets rayon split adaptively. The paper's conclusion lists
-    /// load-balancing strategies as future work; this knob plus the
-    /// `bench_scaling` suite explores it.
+    /// Minimum vertices per chunk on average (load-balancing grain);
+    /// `None` means 1. Bounds task-scheduling overhead when supersteps
+    /// run only a handful of cheap vertices.
     pub grain: Option<usize>,
+    /// How each superstep's active list is cut into parallel chunks —
+    /// the answer to the load-balancing problem the paper's conclusion
+    /// leaves open. [`Schedule::VertexBalanced`] (the default) cuts equal
+    /// vertex counts, [`Schedule::EdgeBalanced`] cuts equal edge weights
+    /// by binary-searching the CSR offsets, [`Schedule::Adaptive`] probes
+    /// the degree distribution once per run and picks. Scheduling never
+    /// changes results, only which thread runs which vertex; per-chunk
+    /// effects are reported in [`crate::metrics::LoadStats`].
+    pub schedule: Schedule,
 }
 
 /// The result of a run: final vertex values plus measurements.

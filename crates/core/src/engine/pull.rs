@@ -23,8 +23,8 @@ use ipregel_graph::csr::Weight;
 use ipregel_graph::{Graph, VertexId, VertexIndex};
 use rayon::prelude::*;
 
-use crate::engine::{in_pool, RunConfig, RunOutput};
-use crate::metrics::{FootprintReport, RunStats, SuperstepStats};
+use crate::engine::{chunks, in_pool, RunConfig, RunOutput};
+use crate::metrics::{FootprintReport, LoadStats, RunStats, SuperstepStats};
 use crate::program::{Context, MasterDecision, VertexProgram};
 use crate::selection::{EpochTags, Worklist};
 use crate::sync_cell::SharedSlice;
@@ -91,11 +91,16 @@ where
     let mut active: Vec<VertexIndex> = map.live_slots().collect();
     let mut superstep = 0usize;
     let mut selection_duration = Duration::ZERO;
+    // Pull work is dominated by the gather over in-neighbours; resolve
+    // the scheduling policy against the in-CSR once for the whole run.
+    let in_csr = graph.in_csr().expect("asserted by run_pull");
+    let schedule = chunks::resolve(config.schedule, in_csr, chunks::max_chunks());
 
     loop {
         let t0 = Instant::now();
         let epoch = superstep as u32 + 1;
-        let (sent, not_halted, ran): (u64, u64, u64) = {
+        let plan = chunks::plan(schedule, &active, slots, in_csr, config.grain);
+        let ((sent, not_halted, ran), chunk_durations): ((u64, u64, u64), Vec<Duration>) = {
             let values_view = SharedSlice::new(&mut values);
             let halted_view = SharedSlice::new(&mut halted);
             let read_view = SharedSlice::new(&mut outbox_read);
@@ -103,59 +108,75 @@ where
             let wl_tags = bypass.as_ref().map(|(wl, tags)| (wl, tags));
             let writers_ref = &writers_write;
             let gather = superstep > 0;
-            let grain = config.grain.unwrap_or(1).max(1);
-            active
+            let active_ref: &[VertexIndex] = &active;
+            let per_chunk: Vec<(u64, u64, u64, Duration)> = plan
+                .chunks
                 .par_iter()
-                .with_min_len(grain)
-                .map(|&v| {
-                    // Gather: combine in-neighbour broadcasts locally —
-                    // the only inter-vertex interaction, and it is a read.
-                    let mut inbox: Option<P::Message> = None;
-                    if gather {
-                        for &u in graph.in_neighbors(v) {
-                            // SAFETY: read buffer was written last
-                            // superstep; no writers exist this phase.
-                            if let Some(m) = unsafe { read_view.get(u as usize) } {
-                                match inbox.as_mut() {
-                                    Some(old) => P::combine(old, *m),
-                                    None => inbox = Some(*m),
+                .map(|c| {
+                    let c_t0 = Instant::now();
+                    let (mut sent, mut not_halted, mut ran) = (0u64, 0u64, 0u64);
+                    for &v in &active_ref[c.start..c.end] {
+                        // Gather: combine in-neighbour broadcasts locally
+                        // — the only inter-vertex interaction, and it is
+                        // a read.
+                        let mut inbox: Option<P::Message> = None;
+                        if gather {
+                            for &u in graph.in_neighbors(v) {
+                                // SAFETY: read buffer was written last
+                                // superstep; no writers exist this phase.
+                                if let Some(m) = unsafe { read_view.get(u as usize) } {
+                                    match inbox.as_mut() {
+                                        Some(old) => P::combine(old, *m),
+                                        None => inbox = Some(*m),
+                                    }
                                 }
                             }
                         }
+                        // SAFETY: distinct slots (scan indices distinct;
+                        // the bypass worklist dedups; chunks partition
+                        // the list); writers to this flag run later in
+                        // this same vertex execution, never concurrently
+                        // on another thread.
+                        let was_halted = unsafe { *halted_view.get(v as usize) };
+                        if was_halted && inbox.is_none() {
+                            // Unfruitful check — the cost §6.2 factor (1)
+                            // describes. The vertex does not run.
+                            continue;
+                        }
+                        let mut ctx = PullCtx::<P> {
+                            superstep,
+                            graph,
+                            v,
+                            inbox,
+                            outbox: &write_view,
+                            writers: writers_ref,
+                            wrote: false,
+                            bypass: wl_tags,
+                            epoch,
+                            sent: 0,
+                            halt_vote: false,
+                        };
+                        // SAFETY: distinct slots, as above.
+                        let mut value = unsafe { values_view.get_mut(v as usize) };
+                        program.compute(&mut value, &mut ctx);
+                        // SAFETY: distinct slots, as above.
+                        unsafe { *halted_view.get_mut(v as usize) = ctx.halt_vote };
+                        sent += ctx.sent;
+                        not_halted += u64::from(!ctx.halt_vote);
+                        ran += 1;
                     }
-                    // SAFETY: distinct slots (scan indices distinct; the
-                    // bypass worklist dedups); writers to this flag run
-                    // later in this same vertex execution, never
-                    // concurrently on another thread.
-                    let was_halted = unsafe { *halted_view.get(v as usize) };
-                    if was_halted && inbox.is_none() {
-                        // Unfruitful check — the cost §6.2 factor (1)
-                        // describes. The vertex does not run.
-                        return (0u64, 0u64, 0u64);
-                    }
-                    let mut ctx = PullCtx::<P> {
-                        superstep,
-                        graph,
-                        v,
-                        inbox,
-                        outbox: &write_view,
-                        writers: writers_ref,
-                        wrote: false,
-                        bypass: wl_tags,
-                        epoch,
-                        sent: 0,
-                        halt_vote: false,
-                    };
-                    // SAFETY: distinct slots, as above.
-                    let mut value = unsafe { values_view.get_mut(v as usize) };
-                    program.compute(&mut value, &mut ctx);
-                    let halt = ctx.halt_vote;
-                    let sent = ctx.sent;
-                    // SAFETY: distinct slots, as above.
-                    unsafe { *halted_view.get_mut(v as usize) = halt };
-                    (sent, u64::from(!halt), 1u64)
+                    (sent, not_halted, ran, c_t0.elapsed())
                 })
-                .reduce(|| (0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2))
+                .collect();
+            let mut totals = (0u64, 0u64, 0u64);
+            let mut durations = Vec::with_capacity(per_chunk.len());
+            for (s, nh, r, d) in per_chunk {
+                totals.0 += s;
+                totals.1 += nh;
+                totals.2 += r;
+                durations.push(d);
+            }
+            (totals, durations)
         };
 
         stats.push(SuperstepStats {
@@ -166,6 +187,7 @@ where
             messages_sent: sent,
             duration: t0.elapsed() + selection_duration,
             selection_duration,
+            load: Some(LoadStats { chunk_edges: plan.chunk_edges, chunk_durations }),
         });
 
         // Recycle the read buffer: clear only slots its writers touched,
@@ -205,11 +227,9 @@ where
                     wl.clear();
                     map.live_slots().collect()
                 } else {
-                    let mut drained = wl.drain_to_vec();
-                    wl.clear();
-                    // Restore scan-order locality (see push engine).
-                    drained.par_sort_unstable();
-                    drained
+                    // Sorted drain (see push engine): locality plus the
+                    // ordered list the chunk planner needs.
+                    wl.drain_sorted()
                 }
             }
             None => {

@@ -17,9 +17,9 @@ use ipregel_graph::csr::Weight;
 use ipregel_graph::{Graph, VertexId, VertexIndex};
 use rayon::prelude::*;
 
-use crate::engine::{in_pool, RunConfig, RunOutput};
+use crate::engine::{chunks, in_pool, RunConfig, RunOutput};
 use crate::mailbox::Mailbox;
-use crate::metrics::{FootprintReport, RunStats, SuperstepStats};
+use crate::metrics::{FootprintReport, LoadStats, RunStats, SuperstepStats};
 use crate::program::{Context, MasterDecision, VertexProgram};
 use crate::selection::Worklist;
 use crate::sync_cell::SharedSlice;
@@ -76,42 +76,57 @@ where
     let mut superstep = 0usize;
     // Selection for superstep 0 is the trivial all-vertices list.
     let mut selection_duration = Duration::ZERO;
+    // Push work is proportional to out-degree; resolve the scheduling
+    // policy against the out-CSR once for the whole run.
+    let out_csr = graph.out_csr().expect("asserted by run_push");
+    let schedule = chunks::resolve(config.schedule, out_csr, chunks::max_chunks());
 
     loop {
         let t0 = Instant::now();
-        let sent: u64 = {
+        let plan = chunks::plan(schedule, &active, slots, out_csr, config.grain);
+        let (sent, chunk_durations): (u64, Vec<Duration>) = {
             let values_view = SharedSlice::new(&mut values);
             let halted_view = SharedSlice::new(&mut halted);
             let next_ref: &[MB] = &next;
             let cur_ref: &[MB] = &cur;
             let wl = bypass.as_ref();
-            let grain = config.grain.unwrap_or(1).max(1);
-            active
+            let active_ref: &[VertexIndex] = &active;
+            let per_chunk: Vec<(u64, Duration)> = plan
+                .chunks
                 .par_iter()
-                .with_min_len(grain)
-                .map(|&v| {
-                    let inbox = cur_ref[v as usize].take();
-                    let mut ctx = PushCtx::<P, MB> {
-                        superstep,
-                        graph,
-                        v,
-                        inbox,
-                        next: next_ref,
-                        bypass: wl,
-                        sent: 0,
-                        halt_vote: false,
-                    };
-                    // SAFETY: the active list holds distinct slots (scan
-                    // filters distinct indices; the bypass worklist dedups
-                    // via epoch tags), so access is disjoint.
-                    let mut value = unsafe { values_view.get_mut(v as usize) };
-                    program.compute(&mut value, &mut ctx);
-                    // SAFETY: same disjointness argument, on the halted
-                    // flags array.
-                    unsafe { *halted_view.get_mut(v as usize) = ctx.halt_vote };
-                    ctx.sent
+                .map(|c| {
+                    let c_t0 = Instant::now();
+                    let mut sent = 0u64;
+                    for &v in &active_ref[c.start..c.end] {
+                        let inbox = cur_ref[v as usize].take();
+                        let mut ctx = PushCtx::<P, MB> {
+                            superstep,
+                            graph,
+                            v,
+                            inbox,
+                            next: next_ref,
+                            bypass: wl,
+                            sent: 0,
+                            halt_vote: false,
+                        };
+                        // SAFETY: the active list holds distinct slots
+                        // (scan filters distinct indices; the bypass
+                        // worklist dedups via epoch tags) and the chunks
+                        // partition it, so access is disjoint.
+                        let mut value = unsafe { values_view.get_mut(v as usize) };
+                        program.compute(&mut value, &mut ctx);
+                        // SAFETY: same disjointness argument, on the
+                        // halted flags array.
+                        unsafe { *halted_view.get_mut(v as usize) = ctx.halt_vote };
+                        sent += ctx.sent;
+                    }
+                    (sent, c_t0.elapsed())
                 })
-                .sum()
+                .collect();
+            (
+                per_chunk.iter().map(|&(s, _)| s).sum(),
+                per_chunk.into_iter().map(|(_, d)| d).collect(),
+            )
         };
 
         stats.push(SuperstepStats {
@@ -120,6 +135,7 @@ where
             messages_sent: sent,
             duration: t0.elapsed() + selection_duration,
             selection_duration,
+            load: Some(LoadStats { chunk_edges: plan.chunk_edges, chunk_durations }),
         });
 
         // Deliveries for superstep s+1 are in `next`; make them current.
@@ -155,13 +171,9 @@ where
                         .filter(|&v| cur_ref[v as usize].has_message())
                         .collect()
                 } else {
-                    let mut drained = wl.drain_to_vec();
-                    wl.clear();
-                    // Enqueue order is a race artefact; sorting restores
-                    // the scan's sequential memory-access pattern (and
-                    // deterministic scheduling) at O(active log active).
-                    drained.par_sort_unstable();
-                    drained
+                    // Sorted drain: scan-order locality, and the ordered
+                    // list the chunk planner's prefix-weight cut needs.
+                    wl.drain_sorted()
                 }
             }
             None => {

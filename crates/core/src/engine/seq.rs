@@ -17,7 +17,7 @@ use ipregel_graph::csr::Weight;
 use ipregel_graph::{Graph, VertexId, VertexIndex};
 
 use crate::engine::{RunConfig, RunOutput};
-use crate::metrics::{FootprintReport, RunStats, SuperstepStats};
+use crate::metrics::{FootprintReport, LoadStats, RunStats, SuperstepStats};
 use crate::program::{Context, MasterDecision, VertexProgram};
 
 /// Run `program` on `graph` single-threaded with scan selection.
@@ -54,12 +54,14 @@ pub fn run_sequential<P: VertexProgram>(
         let t0 = Instant::now();
         let mut sent = 0u64;
         let mut active = 0u64;
+        let mut edges = 0u64;
         for v in map.live_slots() {
             let inbox = cur[v as usize].take();
             if halted[v as usize] && inbox.is_none() {
                 continue;
             }
             active += 1;
+            edges += u64::from(graph.out_degree(v));
             let mut ctx = SeqCtx::<P> {
                 superstep,
                 graph,
@@ -76,14 +78,18 @@ pub fn run_sequential<P: VertexProgram>(
             halted[v as usize] = ctx.halt_vote;
             values[v as usize] = value;
         }
+        let duration = t0.elapsed();
         stats.push(SuperstepStats {
             superstep,
             active,
             messages_sent: sent,
-            duration: t0.elapsed(),
+            duration,
             // The baseline fuses its check into the vertex loop; no
             // separable selection phase exists to time.
             selection_duration: std::time::Duration::ZERO,
+            // Single-threaded: the whole superstep is one chunk, the
+            // trivial (and trivially balanced) case of the schedulers.
+            load: Some(LoadStats { chunk_edges: vec![edges], chunk_durations: vec![duration] }),
         });
         std::mem::swap(&mut cur, &mut next);
 

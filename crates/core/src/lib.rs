@@ -78,8 +78,8 @@ pub mod version;
 pub use engine::pull::run_pull;
 pub use engine::push::run_push;
 pub use engine::seq::run_sequential;
-pub use engine::{RunConfig, RunOutput};
+pub use engine::{RunConfig, RunOutput, Schedule};
 pub use mailbox::{AtomicMailbox, Mailbox, MutexMailbox, PackMessage, SpinGuard, SpinLock, SpinMailbox};
-pub use metrics::{FootprintReport, RunStats, SuperstepStats};
+pub use metrics::{FootprintReport, LoadStats, RunStats, SuperstepStats};
 pub use program::{check_combiner, combiners, Context, MasterDecision, VertexProgram};
 pub use version::{run, run_packed, CombinerKind, Version};

@@ -26,6 +26,62 @@ pub struct SuperstepStats {
     /// cost Section 4's bypass attacks. Scan selection pays O(|V|) here
     /// every superstep; the bypass pays O(active).
     pub selection_duration: Duration,
+    /// Per-chunk load accounting of the compute phase, when the engine
+    /// schedules in chunks (`None` for engines that don't — external
+    /// baselines, the distributed simulator).
+    pub load: Option<LoadStats>,
+}
+
+/// Per-chunk load accounting for one superstep's compute phase.
+///
+/// The two vectors are parallel: chunk `i` was *planned* to carry
+/// `chunk_edges[i]` edges (its vertices' degrees in the direction the
+/// engine walks — out for push, in for pull) and *measured* to take
+/// `chunk_durations[i]` of wall-clock. Planned weight is deterministic,
+/// so tests assert on [`LoadStats::edge_imbalance`]; duration is the
+/// ground truth the scheduling bench reports.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct LoadStats {
+    /// Planned edge weight of each chunk.
+    pub chunk_edges: Vec<u64>,
+    /// Measured wall-clock of each chunk's compute loop.
+    pub chunk_durations: Vec<Duration>,
+}
+
+impl LoadStats {
+    /// Number of chunks the superstep was cut into.
+    pub fn num_chunks(&self) -> usize {
+        self.chunk_edges.len()
+    }
+
+    /// Max/mean ratio of planned chunk edge weights: 1.0 is a perfect
+    /// cut, `num_chunks()` the worst (all weight in one chunk). Returns
+    /// 1.0 for degenerate inputs (no chunks, zero total weight).
+    pub fn edge_imbalance(&self) -> f64 {
+        ratio_max_mean(self.chunk_edges.iter().map(|&e| e as f64))
+    }
+
+    /// Max/mean ratio of measured chunk durations; same scale as
+    /// [`LoadStats::edge_imbalance`]. The superstep's critical path is
+    /// its slowest chunk, so this ratio is the parallel-efficiency loss
+    /// the schedule left on the table.
+    pub fn duration_imbalance(&self) -> f64 {
+        ratio_max_mean(self.chunk_durations.iter().map(Duration::as_secs_f64))
+    }
+}
+
+/// Max over mean of `values`, or 1.0 when empty or summing to zero.
+fn ratio_max_mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut n, mut sum, mut max) = (0u64, 0.0f64, 0.0f64);
+    for v in values {
+        n += 1;
+        sum += v;
+        max = max.max(v);
+    }
+    if n == 0 || sum <= 0.0 {
+        return 1.0;
+    }
+    max * n as f64 / sum
 }
 
 /// Aggregated statistics of a complete run.
@@ -67,6 +123,26 @@ impl RunStats {
     /// Total time spent in the selection phase across the run.
     pub fn total_selection_time(&self) -> Duration {
         self.supersteps.iter().map(|s| s.selection_duration).sum()
+    }
+
+    /// Worst per-superstep [`LoadStats::edge_imbalance`] across the run
+    /// (1.0 when no superstep recorded load stats).
+    pub fn worst_edge_imbalance(&self) -> f64 {
+        self.supersteps
+            .iter()
+            .filter_map(|s| s.load.as_ref())
+            .map(LoadStats::edge_imbalance)
+            .fold(1.0, f64::max)
+    }
+
+    /// Worst per-superstep [`LoadStats::duration_imbalance`] across the
+    /// run (1.0 when no superstep recorded load stats).
+    pub fn worst_duration_imbalance(&self) -> f64 {
+        self.supersteps
+            .iter()
+            .filter_map(|s| s.load.as_ref())
+            .map(LoadStats::duration_imbalance)
+            .fold(1.0, f64::max)
     }
 
     /// A compact ASCII sparkline of active vertices per superstep — the
@@ -133,6 +209,7 @@ mod tests {
             messages_sent: msgs,
             duration: Duration::from_millis(10),
             selection_duration: Duration::from_millis(2),
+            load: None,
         }
     }
 
@@ -192,5 +269,57 @@ mod tests {
         assert_eq!(r.num_supersteps(), 0);
         assert_eq!(r.peak_active(), 0);
         assert_eq!(r.total_messages(), 0);
+    }
+
+    #[test]
+    fn imbalance_ratios() {
+        // Perfect balance → exactly 1.0.
+        let even = LoadStats {
+            chunk_edges: vec![10, 10, 10, 10],
+            chunk_durations: vec![Duration::from_millis(5); 4],
+        };
+        assert_eq!(even.edge_imbalance(), 1.0);
+        assert_eq!(even.duration_imbalance(), 1.0);
+        assert_eq!(even.num_chunks(), 4);
+
+        // All weight in one of four chunks → 4.0 (the worst case).
+        let hub = LoadStats {
+            chunk_edges: vec![40, 0, 0, 0],
+            chunk_durations: vec![
+                Duration::from_millis(8),
+                Duration::from_millis(1),
+                Duration::from_millis(1),
+                Duration::from_millis(2),
+            ],
+        };
+        assert_eq!(hub.edge_imbalance(), 4.0);
+        let d = hub.duration_imbalance();
+        assert!((d - 8.0 * 4.0 / 12.0).abs() < 1e-12, "{d}");
+    }
+
+    #[test]
+    fn degenerate_imbalance_is_one() {
+        assert_eq!(LoadStats::default().edge_imbalance(), 1.0);
+        assert_eq!(LoadStats::default().duration_imbalance(), 1.0);
+        let zeros =
+            LoadStats { chunk_edges: vec![0, 0], chunk_durations: vec![Duration::ZERO; 2] };
+        assert_eq!(zeros.edge_imbalance(), 1.0);
+        assert_eq!(zeros.duration_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn worst_imbalance_scans_supersteps() {
+        let mut r = RunStats::default();
+        assert_eq!(r.worst_edge_imbalance(), 1.0);
+        assert_eq!(r.worst_duration_imbalance(), 1.0);
+        r.push(step(0, 5, 7)); // load: None — ignored
+        let mut skewed = step(1, 3, 2);
+        skewed.load = Some(LoadStats {
+            chunk_edges: vec![30, 10],
+            chunk_durations: vec![Duration::from_millis(3), Duration::from_millis(1)],
+        });
+        r.push(skewed);
+        assert_eq!(r.worst_edge_imbalance(), 1.5);
+        assert_eq!(r.worst_duration_imbalance(), 1.5);
     }
 }

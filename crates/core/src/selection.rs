@@ -137,6 +137,19 @@ impl Worklist {
         out
     }
 
+    /// Drain into an ascending, duplicate-free active list and reset the
+    /// shards (post-barrier). Enqueue order is a race artefact; sorting
+    /// restores the scan's sequential memory-access pattern and gives the
+    /// chunk planner ([`ipregel_graph::schedule`]) the ordered list its
+    /// prefix-weight cut requires. O(active log active).
+    pub fn drain_sorted(&self) -> Vec<VertexIndex> {
+        use rayon::prelude::*;
+        let mut out = self.drain_to_vec();
+        self.clear();
+        out.par_sort_unstable();
+        out
+    }
+
     /// Reset to empty, keeping shard capacity for reuse (post-barrier).
     pub fn clear(&self) {
         for s in self.shards.iter() {
@@ -268,6 +281,19 @@ mod tests {
         // clear() empties the fallback as well: a fresh drain is empty,
         // so nothing can ever be merged twice across supersteps.
         wl.clear();
+        assert!(wl.is_empty());
+        assert_eq!(wl.drain_to_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn drain_sorted_orders_and_resets() {
+        let wl = Worklist::new(64);
+        let n: u32 = if cfg!(miri) { 64 } else { 4096 };
+        (0..n).into_par_iter().for_each(|i| wl.push(i ^ 0x2a));
+        let drained = wl.drain_sorted();
+        assert_eq!(drained.len(), n as usize);
+        assert!(drained.windows(2).all(|w| w[0] < w[1]), "sorted, duplicate-free");
+        // drain_sorted clears: nothing can be drained twice.
         assert!(wl.is_empty());
         assert_eq!(wl.drain_to_vec(), Vec::<u32>::new());
     }

@@ -132,6 +132,9 @@ fn run_naive_inner<P: VertexProgram>(
             // The naive engine's full scan is fused with compute; its
             // selection cost is part of `duration`, not separable.
             selection_duration: std::time::Duration::ZERO,
+            // No chunked scheduling here — rayon splits adaptively, so
+            // there is no per-chunk plan to account.
+            load: None,
         });
         std::mem::swap(&mut bufs.0, &mut bufs.1);
 

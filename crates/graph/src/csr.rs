@@ -96,6 +96,15 @@ impl Csr {
         (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
     }
 
+    /// The raw offsets array: `slots + 1` nondecreasing entries,
+    /// `offsets[v]..offsets[v + 1]` delimiting `v`'s edges. Doubles as
+    /// the edge-count prefix sum the degree-aware scheduler
+    /// ([`crate::schedule`]) binary-searches to cut edge-balanced chunks.
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
     /// Exact heap bytes held by this CSR.
     pub fn bytes(&self) -> usize {
         self.offsets.len() * std::mem::size_of::<u64>()

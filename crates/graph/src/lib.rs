@@ -36,6 +36,7 @@ pub mod generators;
 pub mod ids;
 pub mod loaders;
 pub mod partition;
+pub mod schedule;
 pub mod stats;
 pub mod transform;
 pub mod validation;

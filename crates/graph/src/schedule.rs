@@ -1,0 +1,310 @@
+//! Degree-aware chunking of a superstep's active list.
+//!
+//! The engines split each superstep's active vertices into contiguous
+//! chunks and hand one chunk to each parallel task. Splitting by *vertex
+//! count* — the obvious choice, and the paper's — collapses on power-law
+//! graphs: a chunk that happens to contain a hub vertex carries millions
+//! of edges while its siblings carry thousands, and the superstep runs at
+//! the speed of the unluckiest thread (Capelli & Brown, arXiv:2010.01542,
+//! call this "an extreme form of irregularity"; Yan et al.,
+//! arXiv:1503.00626, make the same case for edge-proportional
+//! partitioning). The cure is to cut chunks of approximately equal *edge*
+//! weight instead.
+//!
+//! This module is the cut machinery; the policy choice lives on the
+//! engine's `RunConfig` (`ipregel::Schedule`). Two entry points cover the
+//! engines' two shapes of active list:
+//!
+//! * [`edge_balanced_range`] — the active list is the full contiguous
+//!   slot range (scan selection, superstep 0, dense bypass supersteps).
+//!   The CSR offsets array *is* the prefix-sum of edge weights, so each
+//!   cut is a plain binary search: O(chunks · log |V|), no scan at all.
+//! * [`edge_balanced_list`] — the active list is an arbitrary sorted
+//!   subset (a drained bypass worklist). One O(active) pass builds the
+//!   prefix weights, then the same binary-search cuts apply.
+//!
+//! Both weigh a vertex as `degree + 1`: the `+ 1` accounts for the
+//! constant per-vertex cost (mailbox check, halt-flag write), so chunks
+//! of zero-degree vertices still get bounded length and graphs with
+//! uniform degree degrade gracefully to the count-balanced cut.
+//!
+//! Guarantee: every chunk's weight is below `total/chunks + max_vertex
+//! weight` — optimal up to the indivisibility of single vertices (a hub's
+//! chunk can never weigh less than the hub itself).
+
+use crate::csr::Csr;
+use crate::ids::VertexIndex;
+
+/// A contiguous run `start..end` of *positions* in the active list being
+/// chunked (equivalently, of slot indices when the active list is the
+/// full slot range).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// First position (inclusive).
+    pub start: usize,
+    /// One past the last position.
+    pub end: usize,
+}
+
+impl Chunk {
+    /// Number of positions covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the chunk covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Number of chunks to actually cut: at most `max_chunks`, but never so
+/// many that the *average* chunk falls below `min_len` items, and at
+/// least one. `min_len` is the engines' `grain` knob: it bounds task
+/// scheduling overhead, not individual chunk sizes.
+pub fn effective_chunks(len: usize, max_chunks: usize, min_len: usize) -> usize {
+    let cap = len / min_len.max(1);
+    max_chunks.max(1).min(cap).max(1)
+}
+
+/// Cut `len` items into chunks of equal *count* — the classic split, kept
+/// as the explicit baseline so every policy flows through the same chunk
+/// loop (and therefore the same per-chunk load accounting).
+pub fn count_balanced(len: usize, max_chunks: usize, min_len: usize) -> Vec<Chunk> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = effective_chunks(len, max_chunks, min_len);
+    let mut out = Vec::with_capacity(chunks);
+    let mut prev = 0usize;
+    for k in 1..=chunks {
+        let cut = len * k / chunks;
+        if cut > prev {
+            out.push(Chunk { start: prev, end: cut });
+            prev = cut;
+        }
+    }
+    out
+}
+
+/// Smallest `i` in `0..offsets.len()` with `offsets[i] + i * vcost >=
+/// target`. The summand is monotone in `i` (offsets are nondecreasing),
+/// so binary search applies; this is the `partition_point` of the implied
+/// weight prefix without materialising it.
+fn lower_bound(offsets: &[u64], vcost: u64, target: u64) -> usize {
+    let (mut lo, mut hi) = (0usize, offsets.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if offsets[mid] + mid as u64 * vcost < target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Cut the weight prefix `weights` (length `len + 1`, `weights[i]` = total
+/// weight of items before position `i`) into at most `max_chunks` chunks
+/// of approximately equal weight. `vcost` is added per item on the fly
+/// (pass 1 when `weights` holds pure edge counts, 0 when the per-item
+/// cost is already folded in). Cuts land at the first position whose
+/// prefix reaches `k/chunks` of the total; an item heavier than the ideal
+/// chunk weight absorbs the following cut targets, so oversized items
+/// yield fewer, never heavier-than-necessary, chunks.
+fn cut_by_weight(weights: &[u64], vcost: u64, max_chunks: usize, min_len: usize) -> Vec<Chunk> {
+    let len = weights.len() - 1;
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = effective_chunks(len, max_chunks, min_len);
+    let total = u128::from(weights[len] + len as u64 * vcost);
+    let mut out = Vec::with_capacity(chunks);
+    let mut prev = 0usize;
+    for k in 1..chunks {
+        let target = (total * k as u128 / chunks as u128) as u64;
+        let cut = lower_bound(weights, vcost, target).clamp(prev, len);
+        if cut > prev {
+            out.push(Chunk { start: prev, end: cut });
+            prev = cut;
+        }
+    }
+    if len > prev {
+        out.push(Chunk { start: prev, end: len });
+    }
+    out
+}
+
+/// Edge-balanced cut of the **full contiguous slot range** covered by
+/// `csr`. The CSR offsets array is already the edge-weight prefix sum, so
+/// this performs no O(|V|) work: each of the (at most `max_chunks`) cut
+/// points is one binary search over the offsets.
+///
+/// Chunk positions are slot indices: `Chunk { start, end }` covers slots
+/// `start..end`.
+pub fn edge_balanced_range(csr: &Csr, max_chunks: usize, min_len: usize) -> Vec<Chunk> {
+    cut_by_weight(csr.offsets(), 1, max_chunks, min_len)
+}
+
+/// Edge-balanced cut of an **arbitrary active list** (typically a drained,
+/// sorted selection-bypass worklist). Builds the weight prefix in one
+/// O(active) pass — the same order of work the caller is about to spend
+/// running the vertices — then cuts exactly like
+/// [`edge_balanced_range`].
+///
+/// Chunk positions index into `active`, not into the slot space.
+pub fn edge_balanced_list(
+    active: &[VertexIndex],
+    degree_of: impl Fn(VertexIndex) -> u64,
+    max_chunks: usize,
+    min_len: usize,
+) -> Vec<Chunk> {
+    let mut weights = Vec::with_capacity(active.len() + 1);
+    let mut acc = 0u64;
+    weights.push(0);
+    for &v in active {
+        acc += degree_of(v) + 1;
+        weights.push(acc);
+    }
+    cut_by_weight(&weights, 0, max_chunks, min_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr_of(degrees: &[u32]) -> Csr {
+        let mut edges = Vec::new();
+        let n = degrees.len() as u32;
+        for (v, &d) in degrees.iter().enumerate() {
+            for i in 0..d {
+                edges.push((v as u32, i % n));
+            }
+        }
+        Csr::from_edges(degrees.len(), &edges, None)
+    }
+
+    fn cover_exactly(chunks: &[Chunk], len: usize) {
+        assert!(chunks.iter().all(|c| !c.is_empty()), "{chunks:?}");
+        assert_eq!(chunks.first().map_or(0, |c| c.start), 0);
+        assert_eq!(chunks.last().map_or(len, |c| c.end), len);
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "gap/overlap in {chunks:?}");
+        }
+    }
+
+    #[test]
+    fn count_balanced_covers_evenly() {
+        let chunks = count_balanced(100, 4, 1);
+        cover_exactly(&chunks, 100);
+        assert_eq!(chunks.len(), 4);
+        assert!(chunks.iter().all(|c| c.len() == 25));
+    }
+
+    #[test]
+    fn grain_caps_chunk_count() {
+        assert_eq!(effective_chunks(100, 16, 30), 3);
+        assert_eq!(effective_chunks(5, 16, 100), 1);
+        assert_eq!(effective_chunks(0, 16, 1), 1);
+        let chunks = count_balanced(100, 16, 30);
+        cover_exactly(&chunks, 100);
+        assert_eq!(chunks.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        assert!(count_balanced(0, 4, 1).is_empty());
+        assert!(edge_balanced_list(&[], |_| 0, 4, 1).is_empty());
+    }
+
+    #[test]
+    fn uniform_degrees_degrade_to_count_balance() {
+        let csr = csr_of(&[3; 64]);
+        let chunks = edge_balanced_range(&csr, 8, 1);
+        cover_exactly(&chunks, 64);
+        assert_eq!(chunks.len(), 8);
+        assert!(chunks.iter().all(|c| c.len() == 8), "{chunks:?}");
+    }
+
+    #[test]
+    fn hub_gets_isolated() {
+        // Vertex 5 carries 1000 edges in a 100-vertex graph of degree-1
+        // vertices: edge-balancing must cut it (nearly) alone rather than
+        // leave it inside a 25-vertex chunk.
+        let mut degrees = [1u32; 100];
+        degrees[5] = 1000;
+        let csr = csr_of(&degrees);
+        let chunks = edge_balanced_range(&csr, 4, 1);
+        cover_exactly(&chunks, 100);
+        let hub_chunk = chunks.iter().find(|c| c.start <= 5 && 5 < c.end).unwrap();
+        // Ideal weight = (1099 edges + 100 vertices) / 4 ≈ 300; the hub
+        // alone weighs 1001, so its chunk must stop right after it.
+        assert_eq!(hub_chunk.end, 6, "{chunks:?}");
+    }
+
+    #[test]
+    fn chunk_weight_never_exceeds_ideal_plus_max_vertex() {
+        let degrees: Vec<u32> = (0..200).map(|i| (i * 7919) % 50).collect();
+        let csr = csr_of(&degrees);
+        let weight =
+            |c: &Chunk| (c.start..c.end).map(|v| u64::from(degrees[v]) + 1).sum::<u64>();
+        let total: u64 = (0..200).map(|v| u64::from(degrees[v]) + 1).sum();
+        let max_w = u64::from(*degrees.iter().max().unwrap()) + 1;
+        for chunks in [4, 7, 16] {
+            let plan = edge_balanced_range(&csr, chunks, 1);
+            cover_exactly(&plan, 200);
+            let ideal = total / chunks as u64;
+            for c in &plan {
+                assert!(
+                    weight(c) <= ideal + max_w,
+                    "chunk {c:?} weighs {} > ideal {ideal} + max {max_w}",
+                    weight(c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn list_variant_matches_range_variant_on_full_range() {
+        let degrees: Vec<u32> = (0..77).map(|i| (i * 31) % 13).collect();
+        let csr = csr_of(&degrees);
+        let active: Vec<VertexIndex> = (0..77).collect();
+        let by_range = edge_balanced_range(&csr, 6, 1);
+        let by_list = edge_balanced_list(&active, |v| u64::from(csr.degree(v)), 6, 1);
+        assert_eq!(by_range, by_list);
+    }
+
+    #[test]
+    fn list_variant_balances_a_sparse_subset() {
+        // Active subset where one entry is a hub.
+        let degree = |v: VertexIndex| if v == 40 { 500u64 } else { 2 };
+        let active: Vec<VertexIndex> = (0..100).filter(|v| v % 2 == 0).collect();
+        let chunks = edge_balanced_list(&active, degree, 5, 1);
+        cover_exactly(&chunks, active.len());
+        let hub_pos = active.iter().position(|&v| v == 40).unwrap();
+        let hub_chunk =
+            chunks.iter().find(|c| c.start <= hub_pos && hub_pos < c.end).unwrap();
+        // The hub's weight jump absorbs the next cut target, so a cut
+        // lands immediately after it: everything *behind* the hub ends up
+        // in fresh chunks instead of piling onto the heavy one.
+        assert_eq!(hub_chunk.end, hub_pos + 1, "{chunks:?}");
+    }
+
+    #[test]
+    fn zero_degree_vertices_still_get_split() {
+        // Pure edge weights would put all 100 isolated vertices in one
+        // chunk; the +1 vertex cost keeps the cut meaningful.
+        let csr = csr_of(&[0; 100]);
+        let chunks = edge_balanced_range(&csr, 4, 1);
+        cover_exactly(&chunks, 100);
+        assert_eq!(chunks.len(), 4);
+        assert!(chunks.iter().all(|c| c.len() == 25), "{chunks:?}");
+    }
+
+    #[test]
+    fn single_vertex_range() {
+        let csr = csr_of(&[7]);
+        let chunks = edge_balanced_range(&csr, 8, 1);
+        assert_eq!(chunks, vec![Chunk { start: 0, end: 1 }]);
+    }
+}

@@ -388,6 +388,9 @@ pub fn run_ooc<P: VertexProgram>(
             messages_sent: sent,
             duration: t0.elapsed() + selection_duration,
             selection_duration,
+            // The out-of-core engine's parallelism is bounded by its I/O
+            // runs, not a chunk plan; nothing to account here.
+            load: None,
         });
         io_trace.push(IoTrace { superstep, bytes_read, seeks, disk_seconds });
         std::mem::swap(&mut cur, &mut next);

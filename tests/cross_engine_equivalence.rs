@@ -6,7 +6,7 @@
 //! paper's six versions differ only in *how* they select, address and
 //! combine; their observable semantics must be identical.
 
-use ipregel::{run, run_packed, CombinerKind, RunConfig, Version};
+use ipregel::{run, run_packed, CombinerKind, RunConfig, Schedule, Version};
 use ipregel_apps::reference;
 use ipregel_apps::{Bfs, Hashmin, PageRank, Sssp, WeightedSssp};
 use ipregel_graph::{Graph, GraphBuilder, NeighborMode};
@@ -148,6 +148,54 @@ proptest! {
             Some(1000),
         );
         prop_assert_eq!(hm_ipregel.values, hm_sim.values);
+    }
+
+    #[test]
+    fn schedules_are_observationally_equivalent(
+        g in arb_graph(),
+        grain in prop::option::of(1usize..64),
+    ) {
+        // The scheduling policy decides where supersteps are *cut*, never
+        // what they compute: for every engine version, vertex-balanced,
+        // edge-balanced and adaptive chunking must produce bit-identical
+        // values, the same superstep count and the same message totals.
+        // (Min-combining programs are order-insensitive, so even the
+        // per-superstep message counts are deterministic.)
+        let source = g.address_map().base();
+        for v in all_versions() {
+            let cfg = |schedule| RunConfig {
+                threads: Some(4),
+                schedule,
+                grain,
+                ..RunConfig::default()
+            };
+            let base_sssp = run(&g, &Sssp { source }, v, &cfg(Schedule::VertexBalanced));
+            let base_hm = run(&g, &Hashmin, v, &cfg(Schedule::VertexBalanced));
+            for schedule in [Schedule::EdgeBalanced, Schedule::Adaptive] {
+                let sssp = run(&g, &Sssp { source }, v, &cfg(schedule));
+                prop_assert_eq!(
+                    &base_sssp.values, &sssp.values,
+                    "sssp values: {} under {}", v.label(), schedule
+                );
+                prop_assert_eq!(
+                    base_sssp.stats.num_supersteps(), sssp.stats.num_supersteps(),
+                    "sssp supersteps: {} under {}", v.label(), schedule
+                );
+                prop_assert_eq!(
+                    base_sssp.stats.total_messages(), sssp.stats.total_messages(),
+                    "sssp messages: {} under {}", v.label(), schedule
+                );
+                let hm = run(&g, &Hashmin, v, &cfg(schedule));
+                prop_assert_eq!(
+                    &base_hm.values, &hm.values,
+                    "hashmin values: {} under {}", v.label(), schedule
+                );
+                prop_assert_eq!(
+                    base_hm.stats.total_messages(), hm.stats.total_messages(),
+                    "hashmin messages: {} under {}", v.label(), schedule
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Heavier randomized stress: larger graphs, every version, adversarial
 //! shapes (hubs, long chains, dense cliques, disconnected debris).
 
-use ipregel::{run, CombinerKind, RunConfig, Version};
+use ipregel::{run, CombinerKind, RunConfig, Schedule, Version};
 use ipregel_apps::reference;
 use ipregel_apps::{Hashmin, KCore, MultiSourceReachability, Sssp};
 use ipregel_graph::generators::barabasi::barabasi_albert_edges;
@@ -108,6 +108,71 @@ fn disconnected_debris_and_clique_cores() {
     for slot in g.address_map().live_slots() {
         assert_eq!(core.values[slot as usize].alive, expected_core[slot as usize]);
     }
+}
+
+#[test]
+fn hub_skew_edge_balanced_bounds_chunk_imbalance() {
+    // One 12_000-spoke hub on a 20_000-vertex ring: the worst case for
+    // vertex-count chunking, which lands the hub plus ~1_249 ring
+    // vertices in one chunk. With 4 threads the engines cut 16 chunks;
+    // the planned-weight imbalance is then bounded by
+    //   1 + max_vertex_weight * chunks / total_weight  ≈ 3.3
+    // for the edge-balanced schedule, against ~3.9 for vertex-balanced.
+    const N: u32 = 20_000;
+    const SPOKES: u32 = 12_000;
+    let mut edges: Vec<(u32, u32)> = (1..=SPOKES).map(|i| (0, i)).collect();
+    edges.extend((0..N).map(|i| (i, (i + 1) % N)));
+    let g = build_sym(edges);
+    assert_eq!(g.out_degree(0), SPOKES + 2, "hub degree");
+
+    // Cap the run: the ring needs ~N/4 supersteps to converge, but all
+    // the load-imbalance signal is in the early full-frontier supersteps.
+    let run_with = |schedule| {
+        let cfg = RunConfig {
+            threads: Some(4),
+            schedule,
+            max_supersteps: Some(40),
+            ..RunConfig::default()
+        };
+        run(
+            &g,
+            &Hashmin,
+            Version { combiner: CombinerKind::Spinlock, selection_bypass: false },
+            &cfg,
+        )
+    };
+    let vertex = run_with(Schedule::VertexBalanced);
+    let edge = run_with(Schedule::EdgeBalanced);
+    let adaptive = run_with(Schedule::Adaptive);
+
+    // Identical computation regardless of chunking.
+    assert_eq!(vertex.values, edge.values);
+    assert_eq!(vertex.values, adaptive.values);
+    assert_eq!(vertex.stats.num_supersteps(), edge.stats.num_supersteps());
+
+    // Every parallel superstep must have recorded its chunk plan.
+    for out in [&vertex, &edge] {
+        for step in &out.stats.supersteps {
+            assert!(step.load.is_some(), "superstep {} lost its load stats", step.superstep);
+        }
+    }
+
+    let vb = vertex.stats.worst_edge_imbalance();
+    let eb = edge.stats.worst_edge_imbalance();
+    assert!(
+        eb <= 3.5,
+        "edge-balanced planned imbalance must stay near the theoretical \
+         bound (~3.3 for this graph), got {eb}"
+    );
+    assert!(
+        eb + 0.3 < vb,
+        "edge-balanced must beat vertex-balanced on a hub graph: eb={eb} vb={vb}"
+    );
+    // The hub's weight exceeds twice the ideal chunk weight, so the
+    // adaptive probe must have picked the edge-balanced cut: identical
+    // planned chunk weights, superstep for superstep.
+    let ab = adaptive.stats.worst_edge_imbalance();
+    assert_eq!(ab, eb, "adaptive resolved to edge-balanced: ab={ab} eb={eb}");
 }
 
 #[test]

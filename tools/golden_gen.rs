@@ -1,0 +1,146 @@
+//! Regenerates the committed golden expectations under `tests/fixtures/`.
+//!
+//! Deliberately `std`-only and independent of the workspace crates: the
+//! expectations are computed from first principles (power iteration, BFS,
+//! min-label fixpoint) rather than by running the engines, so
+//! `tests/golden.rs` is a genuine cross-check and not a snapshot of the
+//! implementation's own output.
+//!
+//! Usage (from the repository root):
+//!
+//! ```text
+//! rustc --edition 2021 -O tools/golden_gen.rs -o /tmp/golden_gen && /tmp/golden_gen
+//! ```
+//!
+//! The PageRank expectation is written with 17 significant digits so the
+//! `f64` round-trips exactly; `tests/golden.rs` compares with a 1e-9
+//! relative tolerance because floating-point combination order differs
+//! between engines.
+
+use std::collections::BTreeMap;
+use std::fs;
+
+/// PageRank parameters mirrored by `tests/golden.rs`.
+const ROUNDS: usize = 20;
+const DAMPING: f64 = 0.85;
+/// SSSP source in fixture B, mirrored by `tests/golden.rs`.
+const SSSP_SOURCE: u32 = 2;
+
+fn parse_edges(path: &str) -> Vec<(u32, u32)> {
+    let text = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let mut edges = Vec::new();
+    for line in text.lines() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') || t.starts_with("//") {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u: u32 = it.next().unwrap().parse().unwrap();
+        let v: u32 = it.next().unwrap().parse().unwrap();
+        edges.push((u, v));
+    }
+    edges
+}
+
+fn vertex_ids(edges: &[(u32, u32)]) -> Vec<u32> {
+    let mut ids: Vec<u32> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// Power iteration matching the vertex program of Figure 6: superstep 0
+/// sets every value to 1/n, each later superstep computes
+/// `0.15/n + 0.85 * Σ incoming(value/outdeg)`, and vertices without
+/// out-edges contribute nothing (no dangling redistribution).
+fn pagerank(edges: &[(u32, u32)], ids: &[u32]) -> BTreeMap<u32, f64> {
+    let index: BTreeMap<u32, usize> = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let n = ids.len();
+    let mut outdeg = vec![0u64; n];
+    for &(u, _) in edges {
+        outdeg[index[&u]] += 1;
+    }
+    let mut p = vec![1.0 / n as f64; n];
+    for _ in 0..ROUNDS {
+        let mut next = vec![(1.0 - DAMPING) / n as f64; n];
+        for &(u, v) in edges {
+            let ui = index[&u];
+            next[index[&v]] += DAMPING * p[ui] / outdeg[ui] as f64;
+        }
+        p = next;
+    }
+    ids.iter().map(|&id| (id, p[index[&id]])).collect()
+}
+
+/// Min-label fixpoint: label(v) = min id over vertices with a directed
+/// path to v, plus v itself. On a symmetric graph this is the component
+/// minimum.
+fn hashmin(edges: &[(u32, u32)], ids: &[u32]) -> BTreeMap<u32, u32> {
+    let mut label: BTreeMap<u32, u32> = ids.iter().map(|&id| (id, id)).collect();
+    loop {
+        let mut changed = false;
+        for &(u, v) in edges {
+            let lu = label[&u];
+            if lu < label[&v] {
+                label.insert(v, lu);
+                changed = true;
+            }
+        }
+        if !changed {
+            return label;
+        }
+    }
+}
+
+/// BFS levels from `SSSP_SOURCE` along directed edges; unreachable
+/// vertices keep `u32::MAX`, matching the Figure 5 initial value.
+fn sssp(edges: &[(u32, u32)], ids: &[u32]) -> BTreeMap<u32, u32> {
+    let mut dist: BTreeMap<u32, u32> = ids.iter().map(|&id| (id, u32::MAX)).collect();
+    dist.insert(SSSP_SOURCE, 0);
+    let mut frontier = vec![SSSP_SOURCE];
+    let mut adj: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for &(u, v) in edges {
+        adj.entry(u).or_default().push(v);
+    }
+    while let Some(next) = {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            let d = dist[&u];
+            for &v in adj.get(&u).map(Vec::as_slice).unwrap_or(&[]) {
+                if dist[&v] == u32::MAX {
+                    dist.insert(v, d + 1);
+                    next.push(v);
+                }
+            }
+        }
+        if next.is_empty() { None } else { Some(next) }
+    } {
+        frontier = next;
+    }
+    dist
+}
+
+fn write_u32(path: &str, values: &BTreeMap<u32, u32>) {
+    let body: String = values.iter().map(|(id, v)| format!("{id} {v}\n")).collect();
+    fs::write(path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+fn write_f64(path: &str, values: &BTreeMap<u32, f64>) {
+    let body: String = values.iter().map(|(id, v)| format!("{id} {v:.17e}\n")).collect();
+    fs::write(path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+fn main() {
+    let a = parse_edges("tests/fixtures/fixture_a.txt");
+    let a_ids = vertex_ids(&a);
+    assert_eq!(a_ids.len(), 24, "fixture A must have 24 vertices");
+    write_f64("tests/fixtures/fixture_a.pagerank.expected", &pagerank(&a, &a_ids));
+    write_u32("tests/fixtures/fixture_a.hashmin.expected", &hashmin(&a, &a_ids));
+
+    let b = parse_edges("tests/fixtures/fixture_b.txt");
+    let b_ids = vertex_ids(&b);
+    assert_eq!(b_ids.len(), 12, "fixture B must have 12 vertices");
+    write_u32("tests/fixtures/fixture_b.sssp.expected", &sssp(&b, &b_ids));
+}
