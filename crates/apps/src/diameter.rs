@@ -7,7 +7,8 @@
 //! messages, thus a high number of supersteps"), so the suite exposes it
 //! as a first-class measurement built from the BFS application.
 
-use ipregel::{run, RunConfig, Version};
+use ipregel::engine::RunError;
+use ipregel::{try_run, RunConfig, Version};
 use ipregel_graph::{Graph, VertexId};
 
 use crate::bfs::{Bfs, UNVISITED};
@@ -28,26 +29,49 @@ pub struct DiameterEstimate {
 /// Returns `None` when `start` reaches no other vertex. On directed
 /// graphs the estimate concerns directed eccentricities (symmetrise
 /// first for the undirected diameter).
+///
+/// # Panics
+/// On any [`RunError`] from the underlying BFS runs — fault-tolerant
+/// callers use [`try_pseudo_diameter`].
 pub fn pseudo_diameter(
     g: &Graph,
     start: VertexId,
     version: Version,
     config: &RunConfig,
 ) -> Option<DiameterEstimate> {
-    let first = run(g, &Bfs { source: start }, version, config);
-    let (far_vertex, _) = first
+    try_pseudo_diameter(g, start, version, config)
+        .unwrap_or_else(|e| panic!("pseudo_diameter: {e}"))
+}
+
+/// Fallible [`pseudo_diameter`]: engine failures (a panicking vertex, a
+/// missed deadline — the sweep runs two BFS passes under one
+/// [`RunConfig::deadline`] budget each) surface as [`RunError`].
+pub fn try_pseudo_diameter(
+    g: &Graph,
+    start: VertexId,
+    version: Version,
+    config: &RunConfig,
+) -> Result<Option<DiameterEstimate>, RunError> {
+    let first = try_run(g, &Bfs { source: start }, version, config)?;
+    let Some((far_vertex, _)) = first
         .iter()
         .filter(|(_, &l)| l != UNVISITED)
-        .max_by_key(|&(id, &l)| (l, std::cmp::Reverse(id)))?;
-    let second = run(g, &Bfs { source: far_vertex }, version, config);
-    let (opposite_vertex, &ecc) = second
+        .max_by_key(|&(id, &l)| (l, std::cmp::Reverse(id)))
+    else {
+        return Ok(None);
+    };
+    let second = try_run(g, &Bfs { source: far_vertex }, version, config)?;
+    let Some((opposite_vertex, &ecc)) = second
         .iter()
         .filter(|(_, &l)| l != UNVISITED)
-        .max_by_key(|&(id, &l)| (l, std::cmp::Reverse(id)))?;
+        .max_by_key(|&(id, &l)| (l, std::cmp::Reverse(id)))
+    else {
+        return Ok(None);
+    };
     if ecc == 0 {
-        return None; // start reaches nothing beyond itself
+        return Ok(None); // start reaches nothing beyond itself
     }
-    Some(DiameterEstimate { pseudo_diameter: ecc, far_vertex, opposite_vertex })
+    Ok(Some(DiameterEstimate { pseudo_diameter: ecc, far_vertex, opposite_vertex }))
 }
 
 #[cfg(test)]

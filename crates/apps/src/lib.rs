@@ -55,7 +55,7 @@ pub use bfs::Bfs;
 pub use bipartite::Bipartiteness;
 pub use converging_pagerank::ConvergingPageRank;
 pub use degree::DegreeCentrality;
-pub use diameter::{pseudo_diameter, DiameterEstimate};
+pub use diameter::{pseudo_diameter, try_pseudo_diameter, DiameterEstimate};
 pub use hashmin::Hashmin;
 pub use kcore::KCore;
 pub use maxvalue::MaxValue;

@@ -42,6 +42,13 @@
 //!   --k N                   k-core order (default 2)
 //!   --out FILE              convert: output path
 //!   --out-format FMT        convert: edgelist | dimacs | binary
+//!   --checkpoint-dir DIR    write superstep checkpoints into DIR
+//!                           (--engine ipregel only; see docs/INTERNALS.md)
+//!   --checkpoint-every N    checkpoint cadence in supersteps (default 1)
+//!   --resume                restore the newest valid checkpoint in
+//!                           --checkpoint-dir before running
+//!   --deadline SECS         abort cleanly (with partial stats) if the
+//!                           run exceeds SECS seconds
 //! ```
 //!
 //! The library entry point [`run_cli`] returns the rendered output so the
@@ -56,7 +63,11 @@ use std::fs::File;
 use std::io::BufReader;
 use std::path::Path;
 
-use ipregel::{run, CombinerKind, RunConfig, RunOutput, Schedule, Version, VertexProgram};
+use ipregel::recover::run_with_checkpoints;
+use ipregel::{
+    try_run, try_run_sequential, CheckpointConfig, CombinerKind, Persist, RunConfig, RunError,
+    RunOutput, Schedule, Version, VertexProgram,
+};
 use ipregel_apps::{Bfs, Hashmin, PageRank, Sssp, WeightedSssp};
 use ipregel_graph::loaders::{load_dimacs_gr, load_edge_list, load_konect, read_binary};
 use ipregel_graph::{Graph, GraphStats, NeighborMode};
@@ -68,7 +79,8 @@ pub const USAGE: &str = "usage: ipregel \
 [--format edgelist|dimacs|konect|binary] [--combiner mutex|spinlock|broadcast] [--bypass] \
 [--schedule vertex|edge|adaptive] \
 [--threads N] [--top K] [--rounds N] [--damping F] [--source ID] [--weighted] [--k N] \
-[--out FILE --out-format edgelist|dimacs|binary]";
+[--out FILE --out-format edgelist|dimacs|binary] \
+[--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--deadline SECS]";
 
 /// CLI failure with a human-readable message.
 #[derive(Debug, PartialEq, Eq)]
@@ -135,6 +147,14 @@ pub struct Options {
     pub out_format: Option<String>,
     /// Executing engine.
     pub engine: EngineChoice,
+    /// Checkpoint directory (`None` = no checkpointing).
+    pub checkpoint_dir: Option<String>,
+    /// Checkpoint cadence in supersteps.
+    pub checkpoint_every: usize,
+    /// Resume from the newest valid checkpoint before running.
+    pub resume: bool,
+    /// Cooperative wall-clock budget in seconds.
+    pub deadline: Option<f64>,
 }
 
 /// Parse raw arguments into [`Options`].
@@ -168,6 +188,10 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         out: None,
         out_format: None,
         engine: EngineChoice::default(),
+        checkpoint_dir: None,
+        checkpoint_every: 1,
+        resume: false,
+        deadline: None,
     };
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -207,6 +231,21 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--k" => opts.k = value()?.parse().map_err(|e| CliError(format!("bad --k: {e}")))?,
             "--out" => opts.out = Some(value()?.to_string()),
             "--out-format" => opts.out_format = Some(value()?.to_string()),
+            "--checkpoint-dir" => opts.checkpoint_dir = Some(value()?.to_string()),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value()?
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --checkpoint-every: {e}")))?
+            }
+            "--resume" => opts.resume = true,
+            "--deadline" => {
+                let secs: f64 =
+                    value()?.parse().map_err(|e| CliError(format!("bad --deadline: {e}")))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return err(format!("bad --deadline: {secs} is not a duration"));
+                }
+                opts.deadline = Some(secs);
+            }
             "--engine" => {
                 opts.engine = match value()? {
                     "ipregel" => EngineChoice::IPregel,
@@ -221,6 +260,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     }
     if opts.graph.is_empty() {
         return err("--graph is required");
+    }
+    if opts.resume && opts.checkpoint_dir.is_none() {
+        return err("--resume needs --checkpoint-dir");
     }
     Ok(opts)
 }
@@ -265,19 +307,39 @@ fn version_for(opts: &Options, default: CombinerKind) -> Version {
     Version { combiner: opts.combiner.unwrap_or(default), selection_bypass: opts.bypass }
 }
 
+fn run_cfg(opts: &Options) -> RunConfig {
+    RunConfig {
+        threads: opts.threads,
+        schedule: opts.schedule,
+        deadline: opts.deadline.map(std::time::Duration::from_secs_f64),
+        ..RunConfig::default()
+    }
+}
+
+fn run_error(e: RunError) -> CliError {
+    CliError(format!("run failed: {e}"))
+}
+
 fn run_app<P: VertexProgram>(
     g: &Graph,
     p: &P,
     version: Version,
     opts: &Options,
-) -> RunOutput<P::Value> {
-    let cfg =
-        RunConfig { threads: opts.threads, schedule: opts.schedule, ..RunConfig::default() };
+) -> Result<RunOutput<P::Value>, CliError> {
+    let cfg = run_cfg(opts);
     match opts.engine {
-        EngineChoice::IPregel => run(g, p, version, &cfg),
-        EngineChoice::Naive => femtograph_sim::run_naive(g, p, &cfg),
-        EngineChoice::Sequential => ipregel::run_sequential(g, p, &cfg),
+        EngineChoice::IPregel => try_run(g, p, version, &cfg).map_err(run_error),
+        EngineChoice::Sequential => try_run_sequential(g, p, &cfg).map_err(run_error),
+        EngineChoice::Naive => {
+            if opts.deadline.is_some() {
+                return err("--deadline needs --engine ipregel or seq");
+            }
+            Ok(femtograph_sim::run_naive(g, p, &cfg))
+        }
         EngineChoice::OutOfCore => {
+            if opts.deadline.is_some() {
+                return err("--deadline needs --engine ipregel or seq");
+            }
             let spill = std::env::temp_dir().join(format!(
                 "ipregel-cli-ooc-{}-{}.edges",
                 std::process::id(),
@@ -286,12 +348,38 @@ fn run_app<P: VertexProgram>(
                     .map_or(0, |d| d.as_nanos() as u64)
             ));
             let ooc = graphd_sim::OocGraph::from_graph(g, &spill)
-                .expect("cannot spill edges to the temp directory");
-            graphd_sim::run_ooc(&ooc, p, &cfg, &graphd_sim::DiskModel::default())
-                .expect("out-of-core run failed")
-                .output
+                .map_err(|e| CliError(format!("cannot spill edges to the temp directory: {e}")))?;
+            Ok(graphd_sim::run_ooc(&ooc, p, &cfg, &graphd_sim::DiskModel::default())
+                .map_err(|e| CliError(format!("out-of-core run failed: {e}")))?
+                .output)
         }
     }
+}
+
+/// [`run_app`] for programs with persistable state: honours
+/// `--checkpoint-dir` / `--checkpoint-every` / `--resume`.
+fn run_app_ckpt<P>(
+    g: &Graph,
+    p: &P,
+    version: Version,
+    opts: &Options,
+) -> Result<RunOutput<P::Value>, CliError>
+where
+    P: VertexProgram,
+    P::Value: Persist,
+    P::Message: Persist,
+{
+    let Some(dir) = &opts.checkpoint_dir else {
+        return run_app(g, p, version, opts);
+    };
+    if opts.engine != EngineChoice::IPregel {
+        return err("--checkpoint-dir needs --engine ipregel");
+    }
+    let mut ckpt = CheckpointConfig::new(dir, opts.checkpoint_every);
+    if opts.resume {
+        ckpt = ckpt.resuming();
+    }
+    run_with_checkpoints(g, p, version, &run_cfg(opts), &ckpt).map_err(run_error)
 }
 
 fn summary<V>(out: &RunOutput<V>, version: Version) -> String {
@@ -310,6 +398,18 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
     let opts = parse_args(args)?;
     if opts.engine == EngineChoice::OutOfCore && (opts.weighted || opts.command == "widest") {
         return err("the out-of-core engine stores unweighted adjacency; weighted runs need --engine ipregel");
+    }
+    // Checkpointing needs `Persist`-able vertex state; the struct-valued
+    // applications (and the non-engine commands) do not qualify.
+    let ckpt_capable = matches!(
+        opts.command.as_str(),
+        "pagerank" | "ppr" | "sssp" | "bfs" | "components" | "maxvalue" | "widest"
+    );
+    if opts.checkpoint_dir.is_some() && !ckpt_capable {
+        return err(format!(
+            "{} has no persistable vertex state; --checkpoint-dir/--resume are unsupported for it",
+            opts.command
+        ));
     }
     let g = load_graph(&opts)?;
     let mut text = format!(
@@ -330,7 +430,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 return err("PageRank vertices do not halt every superstep; the selection bypass is unsound for it (paper, Section 4)");
             }
             let p = PageRank { rounds: opts.rounds, damping: opts.damping };
-            let out = run_app(&g, &p, version, &opts);
+            let out = run_app_ckpt(&g, &p, version, &opts)?;
             text.push_str(&summary(&out, version));
             let mut ranked: Vec<(u32, f64)> = out.iter().map(|(id, &r)| (id, r)).collect();
             ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -348,9 +448,9 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 if version.combiner == CombinerKind::Broadcast {
                     return err("weighted SSSP sends point-to-point; the broadcast combiner cannot run it");
                 }
-                run_app(&g, &WeightedSssp { source: opts.source }, version, &opts)
+                run_app_ckpt(&g, &WeightedSssp { source: opts.source }, version, &opts)?
             } else {
-                run_app(&g, &Sssp { source: opts.source }, version, &opts)
+                run_app_ckpt(&g, &Sssp { source: opts.source }, version, &opts)?
             };
             text.push_str(&summary(&out, version));
             let reached = out.iter().filter(|(_, &d)| d != u32::MAX).count();
@@ -368,7 +468,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 return err(format!("source vertex {} is not in the graph", opts.source));
             }
             let version = version_for(&opts, CombinerKind::Spinlock);
-            let out = run_app(&g, &Bfs { source: opts.source }, version, &opts);
+            let out = run_app_ckpt(&g, &Bfs { source: opts.source }, version, &opts)?;
             text.push_str(&summary(&out, version));
             let reached = out.iter().filter(|(_, &d)| d != u32::MAX).count();
             let depth = out.iter().filter(|(_, &d)| d != u32::MAX).map(|(_, &d)| d).max();
@@ -392,7 +492,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 damping: opts.damping,
                 rounds: opts.rounds,
             };
-            let out = run_app(&g, &p, version, &opts);
+            let out = run_app_ckpt(&g, &p, version, &opts)?;
             text.push_str(&summary(&out, version));
             let mut ranked: Vec<(u32, f64)> = out.iter().map(|(id, &r)| (id, r)).collect();
             ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -406,12 +506,9 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 return err(format!("source vertex {} is not in the graph", opts.source));
             }
             let version = version_for(&opts, CombinerKind::Spinlock);
-            let cfg = RunConfig {
-                threads: opts.threads,
-                schedule: opts.schedule,
-                ..RunConfig::default()
-            };
-            match ipregel_apps::pseudo_diameter(&g, opts.source, version, &cfg) {
+            let result = ipregel_apps::try_pseudo_diameter(&g, opts.source, version, &run_cfg(&opts))
+                .map_err(run_error)?;
+            match result {
                 Some(est) => text.push_str(&format!(
                     "pseudo-diameter: {} (between vertices {} and {})\n",
                     est.pseudo_diameter, est.far_vertex, est.opposite_vertex
@@ -425,7 +522,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             }
             let version = version_for(&opts, CombinerKind::Spinlock);
             let out =
-                run_app(&g, &ipregel_apps::Bipartiteness { seed: opts.source }, version, &opts);
+                run_app(&g, &ipregel_apps::Bipartiteness { seed: opts.source }, version, &opts)?;
             text.push_str(&summary(&out, version));
             let coloured = out.iter().filter(|(_, s)| s.color.is_some()).count();
             let conflicts = out.iter().filter(|(_, s)| s.conflict).count();
@@ -439,14 +536,14 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         }
         "maxvalue" => {
             let version = version_for(&opts, CombinerKind::Spinlock);
-            let out = run_app(&g, &ipregel_apps::MaxValue, version, &opts);
+            let out = run_app_ckpt(&g, &ipregel_apps::MaxValue, version, &opts)?;
             text.push_str(&summary(&out, version));
             let distinct: std::collections::HashSet<u64> = out.iter().map(|(_, &v)| v).collect();
             text.push_str(&format!("distinct converged values: {}\n", distinct.len()));
         }
         "kcore" => {
             let version = version_for(&opts, CombinerKind::Spinlock);
-            let out = run_app(&g, &ipregel_apps::KCore { k: opts.k }, version, &opts);
+            let out = run_app(&g, &ipregel_apps::KCore { k: opts.k }, version, &opts)?;
             text.push_str(&summary(&out, version));
             let alive = out.iter().filter(|(_, s)| s.alive).count();
             text.push_str(&format!("{}-core size: {} of {}\n", opts.k, alive, g.num_vertices()));
@@ -460,7 +557,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 return err("widest path sends point-to-point; the broadcast combiner cannot run it");
             }
             let out =
-                run_app(&g, &ipregel_apps::WidestPath { source: opts.source }, version, &opts);
+                run_app_ckpt(&g, &ipregel_apps::WidestPath { source: opts.source }, version, &opts)?;
             text.push_str(&summary(&out, version));
             let reached = out.iter().filter(|(_, &w)| w > 0).count();
             text.push_str(&format!("reached: {} of {}\n", reached, g.num_vertices()));
@@ -509,7 +606,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         }
         "components" => {
             let version = version_for(&opts, CombinerKind::Spinlock);
-            let out = run_app(&g, &Hashmin, version, &opts);
+            let out = run_app_ckpt(&g, &Hashmin, version, &opts)?;
             text.push_str(&summary(&out, version));
             let mut sizes: std::collections::HashMap<u32, u64> = Default::default();
             for (_, &label) in out.iter() {

@@ -11,7 +11,9 @@ pub mod pull;
 pub mod push;
 pub mod seq;
 
-use ipregel_graph::{AddressMap, VertexId};
+use std::time::Duration;
+
+use ipregel_graph::{AddressMap, VertexId, VertexIndex};
 
 pub use crate::engine::chunks::Schedule;
 use crate::metrics::{FootprintReport, RunStats};
@@ -42,6 +44,124 @@ pub struct RunConfig {
     /// changes results, only which thread runs which vertex; per-chunk
     /// effects are reported in [`crate::metrics::LoadStats`].
     pub schedule: Schedule,
+    /// Cooperative wall-clock budget for the whole run, checked at each
+    /// superstep barrier (the only point where all engine state is
+    /// quiescent). When the elapsed time reaches the budget the engine
+    /// stops *cleanly* — no superstep is torn down mid-flight — and the
+    /// fallible entry points return [`RunError::DeadlineExceeded`]
+    /// carrying the [`RunStats`] of every completed superstep. `None`
+    /// (the default) runs to quiescence.
+    pub deadline: Option<Duration>,
+}
+
+/// Why a fallible run stopped before quiescence.
+///
+/// The engines fail *at barriers*: a panicking vertex program is caught
+/// inside its chunk (the other chunks of that superstep drain normally,
+/// the rayon pool survives), a missed deadline is noticed at the next
+/// superstep boundary, and checkpoint I/O happens only while the engine
+/// is quiescent. Every variant that interrupts a run therefore carries
+/// the [`RunStats`] of the supersteps that *did* complete.
+#[derive(Debug)]
+pub enum RunError {
+    /// A vertex program panicked inside `compute` (or `combine`).
+    VertexPanic {
+        /// Superstep in which the panic fired.
+        superstep: usize,
+        /// Index of the panicking chunk within that superstep's plan.
+        chunk: usize,
+        /// First and last slot of the panicking chunk — the panic came
+        /// from some vertex in this (inclusive) range.
+        vertex_range: (VertexIndex, VertexIndex),
+        /// The panic payload, if it was a string (the common case).
+        message: String,
+        /// Stats for every superstep that completed before the panic.
+        stats: RunStats,
+    },
+    /// The cooperative [`RunConfig::deadline`] elapsed.
+    DeadlineExceeded {
+        /// The configured budget.
+        deadline: Duration,
+        /// The superstep that would have run next.
+        superstep: usize,
+        /// Stats for every completed superstep.
+        stats: RunStats,
+    },
+    /// Writing a checkpoint failed (see [`crate::recover`]).
+    Checkpoint {
+        /// The superstep whose barrier state was being saved.
+        superstep: usize,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Restoring from a checkpoint failed: none found, or the snapshot
+    /// does not fit the graph/program it is being restored into.
+    Resume(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::VertexPanic { superstep, chunk, vertex_range, message, .. } => write!(
+                f,
+                "vertex program panicked in superstep {superstep} (chunk {chunk}, slots \
+                 {}..={}): {message}",
+                vertex_range.0, vertex_range.1
+            ),
+            RunError::DeadlineExceeded { deadline, superstep, .. } => write!(
+                f,
+                "deadline of {deadline:?} exceeded before superstep {superstep}"
+            ),
+            RunError::Checkpoint { superstep, source } => {
+                write!(f, "checkpoint at superstep {superstep} failed: {source}")
+            }
+            RunError::Resume(why) => write!(f, "resume failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Checkpoint { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl RunError {
+    /// The partial per-superstep stats attached to the error, when the
+    /// run got far enough to have any.
+    pub fn partial_stats(&self) -> Option<&RunStats> {
+        match self {
+            RunError::VertexPanic { stats, .. } | RunError::DeadlineExceeded { stats, .. } => {
+                Some(stats)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Result type of the fallible engine entry points (`try_run*`).
+pub type RunResult<V> = Result<RunOutput<V>, RunError>;
+
+/// What a chunk's `catch_unwind` caught, before it is joined with the
+/// superstep context into a [`RunError::VertexPanic`].
+pub(crate) struct ChunkPanic {
+    pub chunk: usize,
+    pub vertex_range: (VertexIndex, VertexIndex),
+    pub message: String,
+}
+
+/// Best-effort extraction of a panic payload as text.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The result of a run: final vertex values plus measurements.

@@ -17,15 +17,19 @@
 //! bypass, a broadcasting vertex enqueues all its out-neighbours, so only
 //! potential receivers gather next superstep.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use ipregel_graph::csr::Weight;
 use ipregel_graph::{Graph, VertexId, VertexIndex};
 use rayon::prelude::*;
 
-use crate::engine::{chunks, in_pool, RunConfig, RunOutput};
+use crate::engine::{
+    chunks, in_pool, panic_message, ChunkPanic, RunConfig, RunError, RunOutput, RunResult,
+};
 use crate::metrics::{FootprintReport, LoadStats, RunStats, SuperstepStats};
 use crate::program::{Context, MasterDecision, VertexProgram};
+use crate::recover::DynHooks;
 use crate::selection::{EpochTags, Worklist};
 use crate::sync_cell::SharedSlice;
 
@@ -37,8 +41,42 @@ use crate::sync_cell::SharedSlice;
 ///   (the sender must know its out-neighbours to enqueue them — this is
 ///   exactly the extra memory the paper observed for "broadcast with
 ///   selection bypass" in Section 7.4.1);
-/// * if `compute` calls `send` — the pull design supports broadcasts only.
+/// * if `compute` calls `send` — the pull design supports broadcasts only;
+/// * on any [`RunError`] — the historical infallible surface.
+///   Fault-tolerant callers use [`try_run_pull`].
 pub fn run_pull<P>(graph: &Graph, program: &P, config: &RunConfig) -> RunOutput<P::Value>
+where
+    P: VertexProgram,
+{
+    try_run_pull(graph, program, config).unwrap_or_else(|e| panic!("run_pull: {e}"))
+}
+
+/// Fallible [`run_pull`]: vertex panics surface as
+/// [`RunError::VertexPanic`], a missed [`RunConfig::deadline`] as
+/// [`RunError::DeadlineExceeded`] — in both cases the rayon pool
+/// survives and the error carries the completed supersteps' stats.
+///
+/// # Panics
+/// Only on misuse — the graph-shape and broadcast-only contracts listed
+/// on [`run_pull`].
+pub fn try_run_pull<P>(graph: &Graph, program: &P, config: &RunConfig) -> RunResult<P::Value>
+where
+    P: VertexProgram,
+{
+    try_run_pull_recoverable(graph, program, config, None)
+}
+
+/// [`try_run_pull`] with checkpoint/restore hooks (see
+/// [`crate::recover`]). A checkpoint stores the *combined inbox* — the
+/// gather's result, engine-neutral — so a pull checkpoint restores into
+/// push engines and vice versa; on resume the first superstep consumes
+/// the restored inbox in place of its gather.
+pub fn try_run_pull_recoverable<P>(
+    graph: &Graph,
+    program: &P,
+    config: &RunConfig,
+    hooks: Option<DynHooks<'_, P::Value, P::Message>>,
+) -> RunResult<P::Value>
 where
     P: VertexProgram,
 {
@@ -53,10 +91,15 @@ where
              senders enqueue their out-neighbours"
         );
     }
-    in_pool(config.threads, || run_pull_inner(graph, program, config))
+    in_pool(config.threads, move || run_pull_inner(graph, program, config, hooks))
 }
 
-fn run_pull_inner<P>(graph: &Graph, program: &P, config: &RunConfig) -> RunOutput<P::Value>
+fn run_pull_inner<P>(
+    graph: &Graph,
+    program: &P,
+    config: &RunConfig,
+    mut hooks: Option<DynHooks<'_, P::Value, P::Message>>,
+) -> RunResult<P::Value>
 where
     P: VertexProgram,
 {
@@ -96,11 +139,90 @@ where
     let in_csr = graph.in_csr().expect("asserted by run_pull");
     let schedule = chunks::resolve(config.schedule, in_csr, chunks::max_chunks());
 
+    // Restore a pending checkpoint. The snapshot's combined inbox stands
+    // in for the first resumed superstep's gather (the outboxes that fed
+    // it died with the old process); everything downstream — broadcasts,
+    // writer lists, epoch tags — regenerates naturally from there.
+    let mut restored_inbox: Option<Vec<Option<P::Message>>> = None;
+    if let Some(h) = hooks.as_deref_mut() {
+        if let Some(state) = h.take_resume() {
+            if state.values.len() != slots {
+                return Err(RunError::Resume(format!(
+                    "checkpoint has {} slots, this graph has {slots}",
+                    state.values.len()
+                )));
+            }
+            values = state.values;
+            halted = state.halted;
+            superstep = state.superstep;
+            for (i, &(a, msgs)) in state.history.iter().enumerate() {
+                stats.push(SuperstepStats {
+                    superstep: i,
+                    active: a,
+                    messages_sent: msgs,
+                    duration: Duration::ZERO,
+                    selection_duration: Duration::ZERO,
+                    load: None,
+                });
+            }
+            active = if bypass.is_some() {
+                // The bypass enqueues exactly the out-neighbours of
+                // broadcasters ≡ the slots whose gather is non-empty.
+                (0..slots as u32).filter(|&v| state.inbox[v as usize].is_some()).collect()
+            } else {
+                // Scan semantics: every live vertex is checked; the
+                // halted-and-empty ones skip inside the superstep.
+                map.live_slots().collect()
+            };
+            restored_inbox = Some(state.inbox);
+            if active.is_empty() {
+                return Ok(RunOutput::new(values, map, stats, footprint));
+            }
+        }
+    }
+
+    let started = Instant::now();
     loop {
+        // Barrier-point bookkeeping (see the push engine). The inbox a
+        // checkpoint stores is the *gather's result* for this superstep,
+        // computed here sequentially in the same in-neighbour CSR order
+        // the vertices would use — bit-identical by construction.
+        if let Some(h) = hooks.as_deref_mut() {
+            if h.due(superstep) {
+                debug_assert!(
+                    restored_inbox.is_none(),
+                    "due() never fires at the resume floor, so the restored inbox is consumed"
+                );
+                let inbox: Vec<Option<P::Message>> = (0..slots as u32)
+                    .map(|v| {
+                        let mut acc: Option<P::Message> = None;
+                        for &u in graph.in_neighbors(v) {
+                            if let Some(m) = outbox_read[u as usize] {
+                                match acc.as_mut() {
+                                    Some(old) => P::combine(old, m),
+                                    None => acc = Some(m),
+                                }
+                            }
+                        }
+                        acc
+                    })
+                    .collect();
+                let history: Vec<(u64, u64)> =
+                    stats.supersteps.iter().map(|s| (s.active, s.messages_sent)).collect();
+                h.save(superstep, &values, &halted, &inbox, &history)
+                    .map_err(|source| RunError::Checkpoint { superstep, source })?;
+            }
+        }
+        if let Some(deadline) = config.deadline {
+            if started.elapsed() >= deadline {
+                return Err(RunError::DeadlineExceeded { deadline, superstep, stats });
+            }
+        }
+
         let t0 = Instant::now();
         let epoch = superstep as u32 + 1;
         let plan = chunks::plan(schedule, &active, slots, in_csr, config.grain);
-        let ((sent, not_halted, ran), chunk_durations): ((u64, u64, u64), Vec<Duration>) = {
+        let per_chunk: Vec<Result<(u64, u64, u64, Duration), ChunkPanic>> = {
             let values_view = SharedSlice::new(&mut values);
             let halted_view = SharedSlice::new(&mut halted);
             let read_view = SharedSlice::new(&mut outbox_read);
@@ -108,76 +230,116 @@ where
             let wl_tags = bypass.as_ref().map(|(wl, tags)| (wl, tags));
             let writers_ref = &writers_write;
             let gather = superstep > 0;
+            let restored_ref: Option<&[Option<P::Message>]> = restored_inbox.as_deref();
             let active_ref: &[VertexIndex] = &active;
-            let per_chunk: Vec<(u64, u64, u64, Duration)> = plan
-                .chunks
+            plan.chunks
                 .par_iter()
-                .map(|c| {
-                    let c_t0 = Instant::now();
-                    let (mut sent, mut not_halted, mut ran) = (0u64, 0u64, 0u64);
-                    for &v in &active_ref[c.start..c.end] {
-                        // Gather: combine in-neighbour broadcasts locally
-                        // — the only inter-vertex interaction, and it is
-                        // a read.
-                        let mut inbox: Option<P::Message> = None;
-                        if gather {
-                            for &u in graph.in_neighbors(v) {
-                                // SAFETY: read buffer was written last
-                                // superstep; no writers exist this phase.
-                                if let Some(m) = unsafe { read_view.get(u as usize) } {
-                                    match inbox.as_mut() {
-                                        Some(old) => P::combine(old, *m),
-                                        None => inbox = Some(*m),
+                .enumerate()
+                .map(|(ci, c)| {
+                    // Panic isolation, as in the push engine: caught
+                    // inside the rayon task, joined at the barrier.
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let c_t0 = Instant::now();
+                        let (mut sent, mut not_halted, mut ran) = (0u64, 0u64, 0u64);
+                        #[cfg(feature = "chaos")]
+                        crate::chaos::maybe_panic(crate::chaos::CHUNK_PANIC, superstep as u64);
+                        for &v in &active_ref[c.start..c.end] {
+                            // Gather: combine in-neighbour broadcasts
+                            // locally — the only inter-vertex interaction,
+                            // and it is a read. A resumed superstep takes
+                            // its checkpointed inbox instead.
+                            let mut inbox: Option<P::Message> = match restored_ref {
+                                Some(r) => r[v as usize],
+                                None => {
+                                    let mut acc: Option<P::Message> = None;
+                                    if gather {
+                                        for &u in graph.in_neighbors(v) {
+                                            // SAFETY: read buffer was written last
+                                            // superstep; no writers exist this phase.
+                                            if let Some(m) = unsafe { read_view.get(u as usize) } {
+                                                match acc.as_mut() {
+                                                    Some(old) => P::combine(old, *m),
+                                                    None => acc = Some(*m),
+                                                }
+                                            }
+                                        }
                                     }
+                                    acc
                                 }
+                            };
+                            // SAFETY: distinct slots (scan indices distinct;
+                            // the bypass worklist dedups; chunks partition
+                            // the list); writers to this flag run later in
+                            // this same vertex execution, never concurrently
+                            // on another thread.
+                            let was_halted = unsafe { *halted_view.get(v as usize) };
+                            if was_halted && inbox.is_none() {
+                                // Unfruitful check — the cost §6.2 factor (1)
+                                // describes. The vertex does not run.
+                                continue;
                             }
+                            let mut ctx = PullCtx::<P> {
+                                superstep,
+                                graph,
+                                v,
+                                inbox: inbox.take(),
+                                outbox: &write_view,
+                                writers: writers_ref,
+                                wrote: false,
+                                bypass: wl_tags,
+                                epoch,
+                                sent: 0,
+                                halt_vote: false,
+                            };
+                            // SAFETY: distinct slots, as above.
+                            let mut value = unsafe { values_view.get_mut(v as usize) };
+                            program.compute(&mut value, &mut ctx);
+                            // SAFETY: distinct slots, as above.
+                            unsafe { *halted_view.get_mut(v as usize) = ctx.halt_vote };
+                            sent += ctx.sent;
+                            not_halted += u64::from(!ctx.halt_vote);
+                            ran += 1;
                         }
-                        // SAFETY: distinct slots (scan indices distinct;
-                        // the bypass worklist dedups; chunks partition
-                        // the list); writers to this flag run later in
-                        // this same vertex execution, never concurrently
-                        // on another thread.
-                        let was_halted = unsafe { *halted_view.get(v as usize) };
-                        if was_halted && inbox.is_none() {
-                            // Unfruitful check — the cost §6.2 factor (1)
-                            // describes. The vertex does not run.
-                            continue;
-                        }
-                        let mut ctx = PullCtx::<P> {
-                            superstep,
-                            graph,
-                            v,
-                            inbox,
-                            outbox: &write_view,
-                            writers: writers_ref,
-                            wrote: false,
-                            bypass: wl_tags,
-                            epoch,
-                            sent: 0,
-                            halt_vote: false,
-                        };
-                        // SAFETY: distinct slots, as above.
-                        let mut value = unsafe { values_view.get_mut(v as usize) };
-                        program.compute(&mut value, &mut ctx);
-                        // SAFETY: distinct slots, as above.
-                        unsafe { *halted_view.get_mut(v as usize) = ctx.halt_vote };
-                        sent += ctx.sent;
-                        not_halted += u64::from(!ctx.halt_vote);
-                        ran += 1;
-                    }
-                    (sent, not_halted, ran, c_t0.elapsed())
+                        (sent, not_halted, ran, c_t0.elapsed())
+                    }))
+                    .map_err(|payload| ChunkPanic {
+                        chunk: ci,
+                        vertex_range: if c.end > c.start {
+                            (active_ref[c.start], active_ref[c.end - 1])
+                        } else {
+                            (0, 0)
+                        },
+                        message: panic_message(payload),
+                    })
                 })
-                .collect();
-            let mut totals = (0u64, 0u64, 0u64);
-            let mut durations = Vec::with_capacity(per_chunk.len());
-            for (s, nh, r, d) in per_chunk {
-                totals.0 += s;
-                totals.1 += nh;
-                totals.2 += r;
-                durations.push(d);
-            }
-            (totals, durations)
+                .collect()
         };
+        restored_inbox = None;
+        let mut totals = (0u64, 0u64, 0u64);
+        let mut chunk_durations = Vec::with_capacity(per_chunk.len());
+        let mut first_panic: Option<ChunkPanic> = None;
+        for r in per_chunk {
+            match r {
+                Ok((s, nh, rn, d)) => {
+                    totals.0 += s;
+                    totals.1 += nh;
+                    totals.2 += rn;
+                    chunk_durations.push(d);
+                }
+                Err(p) if first_panic.is_none() => first_panic = Some(p),
+                Err(_) => {}
+            }
+        }
+        if let Some(p) = first_panic {
+            return Err(RunError::VertexPanic {
+                superstep,
+                chunk: p.chunk,
+                vertex_range: p.vertex_range,
+                message: p.message,
+                stats,
+            });
+        }
+        let (sent, not_halted, ran) = totals;
 
         stats.push(SuperstepStats {
             superstep,
@@ -249,7 +411,7 @@ where
         }
     }
 
-    RunOutput::new(values, map, stats, footprint)
+    Ok(RunOutput::new(values, map, stats, footprint))
 }
 
 /// Per-vertex-execution context for the pull engine.

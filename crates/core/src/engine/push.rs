@@ -11,16 +11,20 @@
 //! enqueues its recipient into the next worklist at send time and the
 //! scan disappears.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use ipregel_graph::csr::Weight;
 use ipregel_graph::{Graph, VertexId, VertexIndex};
 use rayon::prelude::*;
 
-use crate::engine::{chunks, in_pool, RunConfig, RunOutput};
+use crate::engine::{
+    chunks, in_pool, panic_message, ChunkPanic, RunConfig, RunError, RunOutput, RunResult,
+};
 use crate::mailbox::Mailbox;
 use crate::metrics::{FootprintReport, LoadStats, RunStats, SuperstepStats};
 use crate::program::{Context, MasterDecision, VertexProgram};
+use crate::recover::DynHooks;
 use crate::selection::Worklist;
 use crate::sync_cell::SharedSlice;
 
@@ -28,9 +32,43 @@ use crate::sync_cell::SharedSlice;
 ///
 /// # Panics
 /// If the graph was built without out-edges (push engines route every
-/// send through the out-CSR), or if `compute` sends to an identifier
-/// outside the graph.
+/// send through the out-CSR), if `compute` sends to an identifier
+/// outside the graph, or on any [`RunError`] — the historical infallible
+/// surface. Fault-tolerant callers use [`try_run_push`].
 pub fn run_push<P, MB>(graph: &Graph, program: &P, config: &RunConfig) -> RunOutput<P::Value>
+where
+    P: VertexProgram,
+    MB: Mailbox<P::Message>,
+{
+    try_run_push::<P, MB>(graph, program, config).unwrap_or_else(|e| panic!("run_push: {e}"))
+}
+
+/// Fallible [`run_push`]: vertex panics surface as
+/// [`RunError::VertexPanic`], a missed [`RunConfig::deadline`] as
+/// [`RunError::DeadlineExceeded`] — in both cases the rayon pool
+/// survives and the error carries the completed supersteps' stats.
+///
+/// # Panics
+/// Only on misuse: a graph without out-edges, or a send to an unknown
+/// identifier.
+pub fn try_run_push<P, MB>(graph: &Graph, program: &P, config: &RunConfig) -> RunResult<P::Value>
+where
+    P: VertexProgram,
+    MB: Mailbox<P::Message>,
+{
+    try_run_push_recoverable::<P, MB>(graph, program, config, None)
+}
+
+/// [`try_run_push`] with checkpoint/restore hooks (see
+/// [`crate::recover`]): barrier state is saved when `hooks` says it is
+/// due, and a pending resume state is restored before superstep 0 would
+/// have run.
+pub fn try_run_push_recoverable<P, MB>(
+    graph: &Graph,
+    program: &P,
+    config: &RunConfig,
+    hooks: Option<DynHooks<'_, P::Value, P::Message>>,
+) -> RunResult<P::Value>
 where
     P: VertexProgram,
     MB: Mailbox<P::Message>,
@@ -39,10 +77,15 @@ where
         graph.has_out_edges(),
         "push engines need out-adjacency; build the graph with NeighborMode::OutOnly or Both"
     );
-    in_pool(config.threads, || run_push_inner::<P, MB>(graph, program, config))
+    in_pool(config.threads, move || run_push_inner::<P, MB>(graph, program, config, hooks))
 }
 
-fn run_push_inner<P, MB>(graph: &Graph, program: &P, config: &RunConfig) -> RunOutput<P::Value>
+fn run_push_inner<P, MB>(
+    graph: &Graph,
+    program: &P,
+    config: &RunConfig,
+    mut hooks: Option<DynHooks<'_, P::Value, P::Message>>,
+) -> RunResult<P::Value>
 where
     P: VertexProgram,
     MB: Mailbox<P::Message>,
@@ -81,53 +124,153 @@ where
     let out_csr = graph.out_csr().expect("asserted by run_push");
     let schedule = chunks::resolve(config.schedule, out_csr, chunks::max_chunks());
 
+    // Restore a pending checkpoint: values, flags and superstep land
+    // as-is; the combined inbox re-delivers into fresh mailboxes; the
+    // active list is rebuilt by this engine's own selection rule, so a
+    // checkpoint written by any version restores here.
+    if let Some(h) = hooks.as_deref_mut() {
+        if let Some(state) = h.take_resume() {
+            if state.values.len() != slots {
+                return Err(RunError::Resume(format!(
+                    "checkpoint has {} slots, this graph has {slots}",
+                    state.values.len()
+                )));
+            }
+            values = state.values;
+            halted = state.halted;
+            superstep = state.superstep;
+            for (slot, m) in state.inbox.iter().enumerate() {
+                if let Some(m) = *m {
+                    cur[slot].deliver(m, P::combine);
+                }
+            }
+            for (i, &(a, msgs)) in state.history.iter().enumerate() {
+                stats.push(SuperstepStats {
+                    superstep: i,
+                    active: a,
+                    messages_sent: msgs,
+                    duration: Duration::ZERO,
+                    selection_duration: Duration::ZERO,
+                    load: None,
+                });
+            }
+            active = if bypass.is_some() {
+                // Bypass contract (§4): activity ≡ message receipt.
+                (0..slots as u32).filter(|&v| state.inbox[v as usize].is_some()).collect()
+            } else {
+                (0..slots as u32)
+                    .filter(|&v| {
+                        map.is_live_slot(v)
+                            && (!halted[v as usize] || state.inbox[v as usize].is_some())
+                    })
+                    .collect()
+            };
+            if active.is_empty() {
+                return Ok(RunOutput::new(values, map, stats, footprint));
+            }
+        }
+    }
+
+    let started = Instant::now();
     loop {
+        // Barrier-point bookkeeping: the orchestrating thread owns all
+        // state here, so checkpoints and cancellation are clean.
+        if let Some(h) = hooks.as_deref_mut() {
+            if h.due(superstep) {
+                let inbox: Vec<Option<P::Message>> = cur.iter().map(Mailbox::snapshot).collect();
+                let history: Vec<(u64, u64)> =
+                    stats.supersteps.iter().map(|s| (s.active, s.messages_sent)).collect();
+                h.save(superstep, &values, &halted, &inbox, &history)
+                    .map_err(|source| RunError::Checkpoint { superstep, source })?;
+            }
+        }
+        if let Some(deadline) = config.deadline {
+            if started.elapsed() >= deadline {
+                return Err(RunError::DeadlineExceeded { deadline, superstep, stats });
+            }
+        }
+
         let t0 = Instant::now();
         let plan = chunks::plan(schedule, &active, slots, out_csr, config.grain);
-        let (sent, chunk_durations): (u64, Vec<Duration>) = {
+        let per_chunk: Vec<Result<(u64, Duration), ChunkPanic>> = {
             let values_view = SharedSlice::new(&mut values);
             let halted_view = SharedSlice::new(&mut halted);
             let next_ref: &[MB] = &next;
             let cur_ref: &[MB] = &cur;
             let wl = bypass.as_ref();
             let active_ref: &[VertexIndex] = &active;
-            let per_chunk: Vec<(u64, Duration)> = plan
-                .chunks
+            plan.chunks
                 .par_iter()
-                .map(|c| {
-                    let c_t0 = Instant::now();
-                    let mut sent = 0u64;
-                    for &v in &active_ref[c.start..c.end] {
-                        let inbox = cur_ref[v as usize].take();
-                        let mut ctx = PushCtx::<P, MB> {
-                            superstep,
-                            graph,
-                            v,
-                            inbox,
-                            next: next_ref,
-                            bypass: wl,
-                            sent: 0,
-                            halt_vote: false,
-                        };
-                        // SAFETY: the active list holds distinct slots
-                        // (scan filters distinct indices; the bypass
-                        // worklist dedups via epoch tags) and the chunks
-                        // partition it, so access is disjoint.
-                        let mut value = unsafe { values_view.get_mut(v as usize) };
-                        program.compute(&mut value, &mut ctx);
-                        // SAFETY: same disjointness argument, on the
-                        // halted flags array.
-                        unsafe { *halted_view.get_mut(v as usize) = ctx.halt_vote };
-                        sent += ctx.sent;
-                    }
-                    (sent, c_t0.elapsed())
+                .enumerate()
+                .map(|(ci, c)| {
+                    // A panicking `compute` is caught *inside* the rayon
+                    // task: sibling chunks drain normally and the pool
+                    // survives; the failure is joined into a
+                    // `RunError::VertexPanic` at the barrier.
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let c_t0 = Instant::now();
+                        let mut sent = 0u64;
+                        #[cfg(feature = "chaos")]
+                        crate::chaos::maybe_panic(crate::chaos::CHUNK_PANIC, superstep as u64);
+                        for &v in &active_ref[c.start..c.end] {
+                            let inbox = cur_ref[v as usize].take();
+                            let mut ctx = PushCtx::<P, MB> {
+                                superstep,
+                                graph,
+                                v,
+                                inbox,
+                                next: next_ref,
+                                bypass: wl,
+                                sent: 0,
+                                halt_vote: false,
+                            };
+                            // SAFETY: the active list holds distinct slots
+                            // (scan filters distinct indices; the bypass
+                            // worklist dedups via epoch tags) and the chunks
+                            // partition it, so access is disjoint.
+                            let mut value = unsafe { values_view.get_mut(v as usize) };
+                            program.compute(&mut value, &mut ctx);
+                            // SAFETY: same disjointness argument, on the
+                            // halted flags array.
+                            unsafe { *halted_view.get_mut(v as usize) = ctx.halt_vote };
+                            sent += ctx.sent;
+                        }
+                        (sent, c_t0.elapsed())
+                    }))
+                    .map_err(|payload| ChunkPanic {
+                        chunk: ci,
+                        vertex_range: if c.end > c.start {
+                            (active_ref[c.start], active_ref[c.end - 1])
+                        } else {
+                            (0, 0)
+                        },
+                        message: panic_message(payload),
+                    })
                 })
-                .collect();
-            (
-                per_chunk.iter().map(|&(s, _)| s).sum(),
-                per_chunk.into_iter().map(|(_, d)| d).collect(),
-            )
+                .collect()
         };
+        let mut sent = 0u64;
+        let mut chunk_durations = Vec::with_capacity(per_chunk.len());
+        let mut first_panic: Option<ChunkPanic> = None;
+        for r in per_chunk {
+            match r {
+                Ok((s, d)) => {
+                    sent += s;
+                    chunk_durations.push(d);
+                }
+                Err(p) if first_panic.is_none() => first_panic = Some(p),
+                Err(_) => {}
+            }
+        }
+        if let Some(p) = first_panic {
+            return Err(RunError::VertexPanic {
+                superstep,
+                chunk: p.chunk,
+                vertex_range: p.vertex_range,
+                message: p.message,
+                stats,
+            });
+        }
 
         stats.push(SuperstepStats {
             superstep,
@@ -194,7 +337,7 @@ where
         }
     }
 
-    RunOutput::new(values, map, stats, footprint)
+    Ok(RunOutput::new(values, map, stats, footprint))
 }
 
 /// Per-vertex-execution context for the push engine.

@@ -11,24 +11,54 @@
 //! arrival order (ascending sender slot), which makes it useful for
 //! debugging user programs whose combine is accidentally order-sensitive.
 
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use ipregel_graph::csr::Weight;
 use ipregel_graph::{Graph, VertexId, VertexIndex};
 
-use crate::engine::{RunConfig, RunOutput};
+use crate::engine::{panic_message, RunConfig, RunError, RunOutput, RunResult};
 use crate::metrics::{FootprintReport, LoadStats, RunStats, SuperstepStats};
 use crate::program::{Context, MasterDecision, VertexProgram};
+use crate::recover::DynHooks;
 
 /// Run `program` on `graph` single-threaded with scan selection.
 ///
 /// `config.threads` and `config.selection_bypass` are ignored (this
 /// engine is the plain baseline); `config.max_supersteps` is honoured.
+///
+/// # Panics
+/// On a graph without out-edges, a send to an unknown identifier, or any
+/// [`RunError`] — the historical infallible surface. Fault-tolerant
+/// callers use [`try_run_sequential`].
 pub fn run_sequential<P: VertexProgram>(
     graph: &Graph,
     program: &P,
     config: &RunConfig,
 ) -> RunOutput<P::Value> {
+    try_run_sequential(graph, program, config).unwrap_or_else(|e| panic!("run_sequential: {e}"))
+}
+
+/// Fallible [`run_sequential`]: vertex panics surface as
+/// [`RunError::VertexPanic`] (the whole superstep is one chunk here), a
+/// missed [`RunConfig::deadline`] as [`RunError::DeadlineExceeded`].
+pub fn try_run_sequential<P: VertexProgram>(
+    graph: &Graph,
+    program: &P,
+    config: &RunConfig,
+) -> RunResult<P::Value> {
+    try_run_sequential_recoverable(graph, program, config, None)
+}
+
+/// [`try_run_sequential`] with checkpoint/restore hooks (see
+/// [`crate::recover`]). The baseline's inbox buffer already *is* the
+/// checkpoint's inbox shape, so save and restore are direct copies.
+pub fn try_run_sequential_recoverable<P: VertexProgram>(
+    graph: &Graph,
+    program: &P,
+    config: &RunConfig,
+    mut hooks: Option<DynHooks<'_, P::Value, P::Message>>,
+) -> RunResult<P::Value> {
     assert!(graph.has_out_edges(), "the sequential engine routes sends through out-adjacency");
     let map = *graph.address_map();
     let slots = graph.num_slots();
@@ -50,34 +80,96 @@ pub fn run_sequential<P: VertexProgram>(
 
     let mut stats = RunStats::default();
     let mut superstep = 0usize;
-    loop {
-        let t0 = Instant::now();
-        let mut sent = 0u64;
-        let mut active = 0u64;
-        let mut edges = 0u64;
-        for v in map.live_slots() {
-            let inbox = cur[v as usize].take();
-            if halted[v as usize] && inbox.is_none() {
-                continue;
+
+    // Restore a pending checkpoint: this engine's inbox buffer has the
+    // checkpoint's exact shape, so the state drops straight in.
+    if let Some(h) = hooks.as_deref_mut() {
+        if let Some(state) = h.take_resume() {
+            if state.values.len() != slots {
+                return Err(RunError::Resume(format!(
+                    "checkpoint has {} slots, this graph has {slots}",
+                    state.values.len()
+                )));
             }
-            active += 1;
-            edges += u64::from(graph.out_degree(v));
-            let mut ctx = SeqCtx::<P> {
-                superstep,
-                graph,
-                v,
-                inbox,
-                next: &mut next,
-                sent: 0,
-                halt_vote: false,
-            };
-            // `values[v]` and the context borrow disjoint state.
-            let mut value = values[v as usize].clone();
-            program.compute(&mut value, &mut ctx);
-            sent += ctx.sent;
-            halted[v as usize] = ctx.halt_vote;
-            values[v as usize] = value;
+            values = state.values;
+            halted = state.halted;
+            cur = state.inbox;
+            superstep = state.superstep;
+            for (i, &(a, msgs)) in state.history.iter().enumerate() {
+                stats.push(SuperstepStats {
+                    superstep: i,
+                    active: a,
+                    messages_sent: msgs,
+                    duration: Duration::ZERO,
+                    selection_duration: Duration::ZERO,
+                    load: None,
+                });
+            }
         }
+    }
+
+    let started = Instant::now();
+    loop {
+        if let Some(h) = hooks.as_deref_mut() {
+            if h.due(superstep) {
+                let history: Vec<(u64, u64)> =
+                    stats.supersteps.iter().map(|s| (s.active, s.messages_sent)).collect();
+                h.save(superstep, &values, &halted, &cur, &history)
+                    .map_err(|source| RunError::Checkpoint { superstep, source })?;
+            }
+        }
+        if let Some(deadline) = config.deadline {
+            if started.elapsed() >= deadline {
+                return Err(RunError::DeadlineExceeded { deadline, superstep, stats });
+            }
+        }
+
+        let t0 = Instant::now();
+        // One implicit chunk: catch a panicking `compute` and surface it
+        // as the same `VertexPanic` the parallel engines produce.
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            let mut sent = 0u64;
+            let mut active = 0u64;
+            let mut edges = 0u64;
+            #[cfg(feature = "chaos")]
+            crate::chaos::maybe_panic(crate::chaos::CHUNK_PANIC, superstep as u64);
+            for v in map.live_slots() {
+                let inbox = cur[v as usize].take();
+                if halted[v as usize] && inbox.is_none() {
+                    continue;
+                }
+                active += 1;
+                edges += u64::from(graph.out_degree(v));
+                let mut ctx = SeqCtx::<P> {
+                    superstep,
+                    graph,
+                    v,
+                    inbox,
+                    next: &mut next,
+                    sent: 0,
+                    halt_vote: false,
+                };
+                // `values[v]` and the context borrow disjoint state.
+                let mut value = values[v as usize].clone();
+                program.compute(&mut value, &mut ctx);
+                sent += ctx.sent;
+                halted[v as usize] = ctx.halt_vote;
+                values[v as usize] = value;
+            }
+            (sent, active, edges)
+        }));
+        let (sent, active, edges) = match step {
+            Ok(t) => t,
+            Err(payload) => {
+                return Err(RunError::VertexPanic {
+                    superstep,
+                    chunk: 0,
+                    vertex_range: (0, (slots as u32).saturating_sub(1)),
+                    message: panic_message(payload),
+                    stats,
+                })
+            }
+        };
         let duration = t0.elapsed();
         stats.push(SuperstepStats {
             superstep,
@@ -110,7 +202,7 @@ pub fn run_sequential<P: VertexProgram>(
         }
     }
 
-    RunOutput::new(values, map, stats, footprint)
+    Ok(RunOutput::new(values, map, stats, footprint))
 }
 
 struct SeqCtx<'a, P: VertexProgram> {

@@ -66,20 +66,24 @@
 //! ```
 
 pub mod aggregate;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod engine;
 pub mod mailbox;
 pub mod metrics;
 pub mod program;
+pub mod recover;
 pub mod selection;
 pub mod sync;
 pub mod sync_cell;
 pub mod version;
 
-pub use engine::pull::run_pull;
-pub use engine::push::run_push;
-pub use engine::seq::run_sequential;
-pub use engine::{RunConfig, RunOutput, Schedule};
+pub use engine::pull::{run_pull, try_run_pull};
+pub use engine::push::{run_push, try_run_push};
+pub use engine::seq::{run_sequential, try_run_sequential};
+pub use engine::{RunConfig, RunError, RunOutput, RunResult, Schedule};
 pub use mailbox::{AtomicMailbox, Mailbox, MutexMailbox, PackMessage, SpinGuard, SpinLock, SpinMailbox};
 pub use metrics::{FootprintReport, LoadStats, RunStats, SuperstepStats};
 pub use program::{check_combiner, combiners, Context, MasterDecision, VertexProgram};
-pub use version::{run, run_packed, CombinerKind, Version};
+pub use recover::{CheckpointConfig, Persist, ResumeState};
+pub use version::{run, run_packed, try_run, try_run_packed, CombinerKind, Version};

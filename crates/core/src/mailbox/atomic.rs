@@ -121,6 +121,11 @@ impl<M: PackMessage + Send + Sync> Mailbox<M> for AtomicMailbox<M> {
         self.state.load(Ordering::Relaxed) != EMPTY
     }
 
+    fn snapshot(&self) -> Option<M> {
+        let bits = self.state.load(Ordering::Acquire);
+        (bits != EMPTY).then(|| M::unpack(bits))
+    }
+
     fn lock_bytes() -> usize {
         0 // lock-free: the §6 data-race-protection overhead vanishes
     }

@@ -51,6 +51,11 @@ pub trait Mailbox<M: Copy>: Send + Sync {
     /// Cheap occupancy peek used by scan selection.
     fn has_message(&self) -> bool;
 
+    /// Copy out the occupant without removing it. Called only at the
+    /// superstep barrier (checkpointing — see [`crate::recover`]), where
+    /// the engine guarantees no concurrent `deliver` or `take`.
+    fn snapshot(&self) -> Option<M>;
+
     /// Bytes of synchronisation state per mailbox (the paper's 40-byte
     /// mutex vs 4-byte spinlock comparison); 0 for lock-free mailboxes.
     fn lock_bytes() -> usize;
@@ -72,11 +77,15 @@ pub(crate) mod conformance {
     pub fn empty_then_fill<MB: Mailbox<u32>>() {
         let mb = MB::empty();
         assert!(!mb.has_message());
+        assert_eq!(mb.snapshot(), None);
         assert_eq!(mb.take(), None);
         assert!(mb.deliver(5, min32));
         assert!(mb.has_message());
+        assert_eq!(mb.snapshot(), Some(5));
+        assert!(mb.has_message(), "snapshot must not consume the occupant");
         assert_eq!(mb.take(), Some(5));
         assert!(!mb.has_message());
+        assert_eq!(mb.snapshot(), None);
         assert_eq!(mb.take(), None);
     }
 

@@ -59,6 +59,10 @@ impl<M: Copy + Send> Mailbox<M> for MutexMailbox<M> {
         self.has.load(Ordering::Relaxed)
     }
 
+    fn snapshot(&self) -> Option<M> {
+        *self.slot.lock().expect("mailbox lock poisoned")
+    }
+
     fn lock_bytes() -> usize {
         std::mem::size_of::<Mutex<()>>()
     }

@@ -161,6 +161,12 @@ impl<M: Copy + Send> Mailbox<M> for SpinMailbox<M> {
         self.has.load(Ordering::Relaxed)
     }
 
+    fn snapshot(&self) -> Option<M> {
+        let _guard = self.lock.lock();
+        // SAFETY: lock held, as in `deliver`.
+        self.slot.with_mut(|p| unsafe { *p })
+    }
+
     fn lock_bytes() -> usize {
         std::mem::size_of::<SpinLock>()
     }

@@ -8,11 +8,12 @@
 
 use ipregel_graph::Graph;
 
-use crate::engine::pull::run_pull;
-use crate::engine::push::run_push;
-use crate::engine::{RunConfig, RunOutput};
+use crate::engine::pull::try_run_pull_recoverable;
+use crate::engine::push::try_run_push_recoverable;
+use crate::engine::{RunConfig, RunOutput, RunResult};
 use crate::mailbox::{AtomicMailbox, MutexMailbox, PackMessage, SpinMailbox};
 use crate::program::VertexProgram;
+use crate::recover::DynHooks;
 
 /// Which combiner module to use (Section 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,18 +90,54 @@ impl std::fmt::Display for Version {
 ///
 /// # Panics
 /// For [`CombinerKind::LockFree`], whose packed-message bound cannot be
-/// expressed here — use [`run_packed`].
+/// expressed here — use [`run_packed`]. Also on any [`RunError`]
+/// (the historical infallible surface); fault-tolerant callers use
+/// [`try_run`].
+///
+/// [`RunError`]: crate::engine::RunError
 pub fn run<P: VertexProgram>(
     graph: &Graph,
     program: &P,
     version: Version,
     config: &RunConfig,
 ) -> RunOutput<P::Value> {
+    try_run(graph, program, version, config).unwrap_or_else(|e| panic!("run: {e}"))
+}
+
+/// Fallible [`run`]: vertex panics surface as
+/// [`RunError::VertexPanic`](crate::engine::RunError::VertexPanic), a
+/// missed deadline as
+/// [`RunError::DeadlineExceeded`](crate::engine::RunError::DeadlineExceeded).
+///
+/// # Panics
+/// For [`CombinerKind::LockFree`] — use [`try_run_packed`]. That is a
+/// caller-side type error, not a runtime fault, so it stays a panic.
+pub fn try_run<P: VertexProgram>(
+    graph: &Graph,
+    program: &P,
+    version: Version,
+    config: &RunConfig,
+) -> RunResult<P::Value> {
+    try_run_recoverable(graph, program, version, config, None)
+}
+
+/// [`try_run`] with checkpoint/restore hooks (see [`crate::recover`]).
+pub fn try_run_recoverable<P: VertexProgram>(
+    graph: &Graph,
+    program: &P,
+    version: Version,
+    config: &RunConfig,
+    hooks: Option<DynHooks<'_, P::Value, P::Message>>,
+) -> RunResult<P::Value> {
     let config = RunConfig { selection_bypass: version.selection_bypass, ..config.clone() };
     match version.combiner {
-        CombinerKind::Mutex => run_push::<P, MutexMailbox<P::Message>>(graph, program, &config),
-        CombinerKind::Spinlock => run_push::<P, SpinMailbox<P::Message>>(graph, program, &config),
-        CombinerKind::Broadcast => run_pull(graph, program, &config),
+        CombinerKind::Mutex => {
+            try_run_push_recoverable::<P, MutexMailbox<P::Message>>(graph, program, &config, hooks)
+        }
+        CombinerKind::Spinlock => {
+            try_run_push_recoverable::<P, SpinMailbox<P::Message>>(graph, program, &config, hooks)
+        }
+        CombinerKind::Broadcast => try_run_pull_recoverable(graph, program, &config, hooks),
         CombinerKind::LockFree => {
             panic!("the lock-free combiner needs PackMessage; call run_packed instead")
         }
@@ -109,6 +146,10 @@ pub fn run<P: VertexProgram>(
 
 /// Like [`run`], additionally supporting [`CombinerKind::LockFree`] for
 /// programs whose messages pack into 64 bits.
+///
+/// # Panics
+/// On any [`RunError`](crate::engine::RunError) — fault-tolerant callers
+/// use [`try_run_packed`].
 pub fn run_packed<P>(
     graph: &Graph,
     program: &P,
@@ -119,12 +160,42 @@ where
     P: VertexProgram,
     P::Message: PackMessage,
 {
+    try_run_packed(graph, program, version, config).unwrap_or_else(|e| panic!("run_packed: {e}"))
+}
+
+/// Fallible [`run_packed`].
+pub fn try_run_packed<P>(
+    graph: &Graph,
+    program: &P,
+    version: Version,
+    config: &RunConfig,
+) -> RunResult<P::Value>
+where
+    P: VertexProgram,
+    P::Message: PackMessage,
+{
+    try_run_packed_recoverable(graph, program, version, config, None)
+}
+
+/// [`try_run_packed`] with checkpoint/restore hooks (see
+/// [`crate::recover`]).
+pub fn try_run_packed_recoverable<P>(
+    graph: &Graph,
+    program: &P,
+    version: Version,
+    config: &RunConfig,
+    hooks: Option<DynHooks<'_, P::Value, P::Message>>,
+) -> RunResult<P::Value>
+where
+    P: VertexProgram,
+    P::Message: PackMessage,
+{
     match version.combiner {
         CombinerKind::LockFree => {
             let config = RunConfig { selection_bypass: version.selection_bypass, ..config.clone() };
-            run_push::<P, AtomicMailbox<P::Message>>(graph, program, &config)
+            try_run_push_recoverable::<P, AtomicMailbox<P::Message>>(graph, program, &config, hooks)
         }
-        _ => run(graph, program, version, config),
+        _ => try_run_recoverable(graph, program, version, config, hooks),
     }
 }
 

@@ -36,6 +36,11 @@ pub enum GraphError {
     Io(std::io::Error),
     /// A malformed binary-format header or payload.
     BadBinary(String),
+    /// A structurally valid binary payload whose checksum disagrees with
+    /// its contents: bit rot or a torn write, as opposed to the wrong
+    /// format. Distinguished from [`GraphError::BadBinary`] so callers
+    /// can suggest regenerating the cache rather than fixing the input.
+    Corrupt(String),
 }
 
 impl fmt::Display for GraphError {
@@ -60,6 +65,7 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
             GraphError::BadBinary(m) => write!(f, "malformed binary graph: {m}"),
+            GraphError::Corrupt(m) => write!(f, "corrupt binary graph: {m}"),
         }
     }
 }

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod builder;
+pub mod checksum;
 pub mod csr;
 pub mod error;
 pub mod generators;

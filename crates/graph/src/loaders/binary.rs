@@ -5,27 +5,43 @@
 //! in this little-endian format:
 //!
 //! ```text
-//! magic   4 bytes  "IPGB"
-//! version u32      1
-//! flags   u32      bit 0: weighted
-//! base    u32      smallest external identifier
-//! n       u32      number of vertices
-//! m       u64      number of edges
-//! edges   m × (u32 src, u32 dst)           external identifiers
-//! weights m × u32                          only when weighted
+//! magic    4 bytes  "IPGB"
+//! version  u32      2 (v1 files, without the checksum, still load)
+//! flags    u32      bit 0: weighted
+//! base     u32      smallest external identifier
+//! n        u32      number of vertices
+//! m        u64      number of edges
+//! edges    m × (u32 src, u32 dst)           external identifiers
+//! weights  m × u32                          only when weighted
+//! checksum u64      FNV-1a 64 of everything above (v2 only)
 //! ```
+//!
+//! The trailing checksum (shared with the checkpoint format, see
+//! [`crate::checksum`]) distinguishes a *corrupt* cache — bit rot, a
+//! torn write — from a malformed one: validation failures after a
+//! structurally sound header surface as [`GraphError::Corrupt`], telling
+//! the caller to regenerate the cache rather than fix their input.
+//! Reads are streamed in bounded chunks, so a hostile edge count cannot
+//! force a proportional allocation before the payload proves itself.
 
 use std::io::{Read, Write};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::builder::{GraphBuilder, NeighborMode};
+use crate::checksum::Fnv64;
 use crate::csr::Graph;
 use crate::error::GraphError;
 
 const MAGIC: &[u8; 4] = b"IPGB";
-const VERSION: u32 = 1;
+/// Current (checksummed) format version.
+const VERSION: u32 = 2;
+/// The original checksum-free version, still accepted on read.
+const VERSION_UNCHECKSUMMED: u32 = 1;
 const FLAG_WEIGHTED: u32 = 1;
+/// Streaming chunk size; a multiple of 8 so edge records never straddle
+/// chunk boundaries.
+const CHUNK: usize = 8 << 20;
 
 /// Serialise `edges` (external ids) with optional weights.
 ///
@@ -43,40 +59,53 @@ pub fn write_binary<W: Write>(
             return Err(GraphError::MixedWeightedness);
         }
     }
-    let mut buf = BytesMut::with_capacity(28 + edges.len() * 8);
+    let mut hash = Fnv64::new();
+    let mut buf = BytesMut::with_capacity(28);
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u32_le(if weights.is_some() { FLAG_WEIGHTED } else { 0 });
     buf.put_u32_le(base);
     buf.put_u32_le(num_vertices);
     buf.put_u64_le(edges.len() as u64);
+    hash.update(&buf);
     w.write_all(&buf)?;
     // Stream edges in chunks to bound peak memory on billion-edge graphs.
-    let mut chunk = BytesMut::with_capacity(8 << 20);
+    let mut chunk = BytesMut::with_capacity(CHUNK);
     for &(s, d) in edges {
         chunk.put_u32_le(s);
         chunk.put_u32_le(d);
-        if chunk.len() >= (8 << 20) - 8 {
+        if chunk.len() >= CHUNK - 8 {
+            hash.update(&chunk);
             w.write_all(&chunk)?;
             chunk.clear();
         }
     }
+    hash.update(&chunk);
     w.write_all(&chunk)?;
     chunk.clear();
     if let Some(ws) = weights {
         for &x in ws {
             chunk.put_u32_le(x);
-            if chunk.len() >= (8 << 20) - 4 {
+            if chunk.len() >= CHUNK - 4 {
+                hash.update(&chunk);
                 w.write_all(&chunk)?;
                 chunk.clear();
             }
         }
+        hash.update(&chunk);
         w.write_all(&chunk)?;
     }
+    w.write_all(&hash.finish().to_le_bytes())?;
     Ok(())
 }
 
 /// Deserialise an `IPGB` stream into a [`Graph`].
+///
+/// Accepts both format versions; for v2 the payload is validated
+/// against its trailing checksum and any mismatch — including a single
+/// flipped bit anywhere in the file — is reported as
+/// [`GraphError::Corrupt`] (FNV-1a's state transition per input byte is
+/// a bijection, so a lone byte change always alters the digest).
 pub fn read_binary<R: Read>(mut r: R, mode: NeighborMode) -> Result<Graph, GraphError> {
     let mut header = [0u8; 28];
     r.read_exact(&mut header).map_err(|_| GraphError::BadBinary("truncated header".into()))?;
@@ -87,9 +116,10 @@ pub fn read_binary<R: Read>(mut r: R, mode: NeighborMode) -> Result<Graph, Graph
         return Err(GraphError::BadBinary(format!("bad magic {magic:?}")));
     }
     let version = h.get_u32_le();
-    if version != VERSION {
+    if version != VERSION && version != VERSION_UNCHECKSUMMED {
         return Err(GraphError::BadBinary(format!("unsupported version {version}")));
     }
+    let checksummed = version == VERSION;
     let flags = h.get_u32_le();
     let weighted = flags & FLAG_WEIGHTED != 0;
     let base = h.get_u32_le();
@@ -98,26 +128,77 @@ pub fn read_binary<R: Read>(mut r: R, mode: NeighborMode) -> Result<Graph, Graph
     if m > usize::MAX as u64 / 8 {
         return Err(GraphError::BadBinary(format!("implausible edge count {m}")));
     }
+    let mut hash = Fnv64::new();
+    hash.update(&header);
 
-    let mut edge_bytes = vec![0u8; (m as usize) * 8];
-    r.read_exact(&mut edge_bytes).map_err(|_| GraphError::BadBinary("truncated edges".into()))?;
-    let mut weight_bytes = Vec::new();
+    // `m` is untrusted until the payload actually arrives: cap the
+    // builder's up-front reservation and let growth amortise past it.
+    let mut b =
+        GraphBuilder::with_capacity(mode, (m as usize).min(1 << 20)).declare_id_range(base, n);
+    let mut buf = vec![0u8; CHUNK.min((m as usize) * 8)];
+
+    // Weighted files put all weights after all edges, so edges are
+    // buffered (8 B each, same as their wire size) until their weights
+    // stream past; unweighted edges go straight into the builder.
+    let mut pending: Vec<(u32, u32)> = Vec::with_capacity(if weighted {
+        (m as usize).min(1 << 20)
+    } else {
+        0
+    });
+    let mut remaining = (m as usize) * 8;
+    while remaining > 0 {
+        let take = remaining.min(CHUNK);
+        let chunk = &mut buf[..take];
+        r.read_exact(chunk).map_err(|_| GraphError::BadBinary("truncated edges".into()))?;
+        hash.update(chunk);
+        let mut eb = &chunk[..];
+        while eb.len() >= 8 {
+            let s = eb.get_u32_le();
+            let d = eb.get_u32_le();
+            if weighted {
+                pending.push((s, d));
+            } else {
+                b.add_edge(s, d);
+            }
+        }
+        remaining -= take;
+    }
     if weighted {
-        weight_bytes.resize((m as usize) * 4, 0);
-        r.read_exact(&mut weight_bytes)
-            .map_err(|_| GraphError::BadBinary("truncated weights".into()))?;
+        let mut i = 0usize;
+        let mut remaining = (m as usize) * 4;
+        while remaining > 0 {
+            let take = remaining.min(CHUNK);
+            let chunk = &mut buf[..take];
+            r.read_exact(chunk).map_err(|_| GraphError::BadBinary("truncated weights".into()))?;
+            hash.update(chunk);
+            let mut wb = &chunk[..];
+            while wb.len() >= 4 {
+                let (s, d) = pending[i];
+                b.add_weighted_edge(s, d, wb.get_u32_le());
+                i += 1;
+            }
+            remaining -= take;
+        }
     }
 
-    let mut b = GraphBuilder::with_capacity(mode, m as usize).declare_id_range(base, n);
-    let mut eb = &edge_bytes[..];
-    let mut wb = &weight_bytes[..];
-    for _ in 0..m {
-        let s = eb.get_u32_le();
-        let d = eb.get_u32_le();
-        if weighted {
-            b.add_weighted_edge(s, d, wb.get_u32_le());
-        } else {
-            b.add_edge(s, d);
+    if checksummed {
+        let mut tail = [0u8; 8];
+        r.read_exact(&mut tail).map_err(|_| GraphError::BadBinary("truncated checksum".into()))?;
+        let stored = u64::from_le_bytes(tail);
+        let computed = hash.finish();
+        if stored != computed {
+            return Err(GraphError::Corrupt(format!(
+                "checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            )));
+        }
+        // Nothing may follow the checksum; bytes here mean the header's
+        // edge count disagrees with the file (e.g. a corrupted `m` that
+        // happened to shrink the payload).
+        let mut probe = [0u8; 1];
+        match r.read(&mut probe) {
+            Ok(0) => {}
+            Ok(_) => return Err(GraphError::Corrupt("trailing bytes after checksum".into())),
+            Err(e) => return Err(GraphError::Io(e)),
         }
     }
     b.build()
@@ -161,14 +242,85 @@ mod tests {
         let edges = vec![(0u32, 1u32); 16];
         let mut file = Vec::new();
         write_binary(&mut file, 0, 2, &edges, None).unwrap();
-        file.truncate(file.len() - 5);
-        let r = read_binary(&file[..], NeighborMode::OutOnly);
-        assert!(matches!(r, Err(GraphError::BadBinary(_))));
+        for cut in [5, 8, 9, file.len() - 28] {
+            let r = read_binary(&file[..file.len() - cut], NeighborMode::OutOnly);
+            assert!(
+                matches!(r, Err(GraphError::BadBinary(_))),
+                "cut of {cut} bytes went undetected"
+            );
+        }
     }
 
     #[test]
     fn weight_length_mismatch_is_rejected() {
         let r = write_binary(Vec::new(), 0, 2, &[(0, 1), (1, 0)], Some(&[7]));
         assert!(matches!(r, Err(GraphError::MixedWeightedness)));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let edges = vec![(0u32, 1u32), (1, 2), (2, 0)];
+        let mut file = Vec::new();
+        write_binary(&mut file, 0, 3, &edges, Some(&[5, 6, 7])).unwrap();
+        for i in 0..file.len() {
+            let mut mutated = file.clone();
+            mutated[i] ^= 0x20;
+            assert!(
+                read_binary(&mutated[..], NeighborMode::OutOnly).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_flip_reports_corrupt_not_malformed() {
+        let mut file = Vec::new();
+        write_binary(&mut file, 0, 2, &[(0u32, 1u32)], None).unwrap();
+        file[30] ^= 0xff; // inside the edge payload
+        let r = read_binary(&file[..], NeighborMode::OutOnly);
+        assert!(matches!(r, Err(GraphError::Corrupt(_))), "{r:?}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut file = Vec::new();
+        write_binary(&mut file, 0, 2, &[(0u32, 1u32)], None).unwrap();
+        file.push(0xaa);
+        let r = read_binary(&file[..], NeighborMode::OutOnly);
+        assert!(matches!(r, Err(GraphError::Corrupt(_))), "{r:?}");
+    }
+
+    #[test]
+    fn version_1_files_without_checksum_still_load() {
+        // Hand-rolled v1 image: header (version 1) + two edges, no tail.
+        let mut file = Vec::new();
+        file.extend_from_slice(b"IPGB");
+        file.extend_from_slice(&1u32.to_le_bytes());
+        file.extend_from_slice(&0u32.to_le_bytes()); // unweighted
+        file.extend_from_slice(&0u32.to_le_bytes()); // base
+        file.extend_from_slice(&2u32.to_le_bytes()); // n
+        file.extend_from_slice(&2u64.to_le_bytes()); // m
+        for &(s, d) in &[(0u32, 1u32), (1, 0)] {
+            file.extend_from_slice(&s.to_le_bytes());
+            file.extend_from_slice(&d.to_le_bytes());
+        }
+        let g = read_binary(&file[..], NeighborMode::OutOnly).unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn hostile_edge_count_fails_without_matching_allocation() {
+        // A header claiming 2^40 edges must fail on the missing payload,
+        // not by reserving terabytes first.
+        let mut file = Vec::new();
+        file.extend_from_slice(b"IPGB");
+        file.extend_from_slice(&2u32.to_le_bytes());
+        file.extend_from_slice(&0u32.to_le_bytes());
+        file.extend_from_slice(&0u32.to_le_bytes());
+        file.extend_from_slice(&2u32.to_le_bytes());
+        file.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        let r = read_binary(&file[..], NeighborMode::OutOnly);
+        assert!(matches!(r, Err(GraphError::BadBinary(_))), "{r:?}");
     }
 }

@@ -41,7 +41,9 @@ pub fn load_dimacs_gr<R: BufRead>(reader: R, mode: NeighborMode) -> Result<Graph
                 }
                 let n = parse_num(it.next(), lineno + 1, "vertex count")?;
                 let m = parse_num(it.next(), lineno + 1, "arc count")?;
-                let mut b = GraphBuilder::with_capacity(mode, m as usize);
+                // The declared arc count is untrusted input: cap the
+                // up-front reservation and let growth amortise past it.
+                let mut b = GraphBuilder::with_capacity(mode, (m as usize).min(1 << 20));
                 b = b.declare_id_range(1, n);
                 builder = Some(b);
             }

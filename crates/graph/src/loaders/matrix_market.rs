@@ -75,7 +75,9 @@ pub fn load_matrix_market<R: BufRead>(reader: R, mode: NeighborMode) -> Result<G
                         message: format!("adjacency matrix must be square, got {rows}x{cols}"),
                     });
                 }
-                let mut b = GraphBuilder::with_capacity(mode, nnz as usize);
+                // The declared entry count is untrusted input: cap the
+                // up-front reservation and let growth amortise past it.
+                let mut b = GraphBuilder::with_capacity(mode, (nnz as usize).min(1 << 20));
                 b = b.declare_id_range(1, rows);
                 builder = Some(b);
             }

@@ -28,7 +28,7 @@
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ipregel::engine::{RunConfig, RunOutput};
 use ipregel::mailbox::{Mailbox, SpinMailbox};
@@ -40,6 +40,24 @@ use ipregel_graph::{AddressMap, Graph, VertexId, VertexIndex};
 use rayon::prelude::*;
 use serde::Serialize;
 
+/// Bounded retry for transient edge-stream read failures
+/// (`Interrupted` / `WouldBlock` / `TimedOut`): each failed attempt
+/// sleeps `base_backoff × 2^(attempt-1)` before re-seeking, and after
+/// `max_attempts` total attempts the error propagates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RetryPolicy {
+    /// Total read attempts before the error propagates (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, base_backoff: Duration::from_millis(1) }
+    }
+}
+
 /// Disk performance constants used to price the observed IO pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct DiskModel {
@@ -48,11 +66,18 @@ pub struct DiskModel {
     pub read_bandwidth: f64,
     /// Cost per non-contiguous read (seek / request overhead), seconds.
     pub seek_latency: f64,
+    /// Transient-failure retry policy for edge-stream reads. Each retry
+    /// re-seeks, so it is priced as an extra seek in the model.
+    pub retry: RetryPolicy,
 }
 
 impl Default for DiskModel {
     fn default() -> Self {
-        DiskModel { read_bandwidth: 500e6, seek_latency: 100e-6 }
+        DiskModel {
+            read_bandwidth: 500e6,
+            seek_latency: 100e-6,
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
@@ -63,8 +88,11 @@ pub struct IoTrace {
     pub superstep: usize,
     /// Bytes streamed from the edge file.
     pub bytes_read: u64,
-    /// Non-contiguous read requests issued.
+    /// Non-contiguous read requests issued (retries re-seek, so each
+    /// retry counts here too).
     pub seeks: u64,
+    /// Reads that failed transiently and were retried.
+    pub retries: u64,
     /// Modelled disk seconds for this superstep.
     pub disk_seconds: f64,
 }
@@ -282,6 +310,44 @@ fn plan_reads(
     (runs, slices)
 }
 
+/// Is this error worth retrying? Transient kinds only — anything else
+/// (truncation, permission, corruption) propagates immediately.
+fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// One coalesced run read, with bounded retry on transient failure.
+/// Every attempt seeks first (a failed `read_exact` leaves the cursor
+/// and buffer in unspecified states, so each retry restarts the run
+/// from scratch). Returns the number of retries performed.
+fn read_run(file: &mut File, off: u64, buf: &mut [u8], retry: &RetryPolicy) -> io::Result<u64> {
+    let mut retries = 0u64;
+    loop {
+        let result = (|| {
+            #[cfg(feature = "chaos")]
+            if ipregel::chaos::fires(ipregel::chaos::GRAPHD_READ, 0) {
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "chaos: injected transient read failure",
+                ));
+            }
+            file.seek(SeekFrom::Start(off))?;
+            file.read_exact(buf)
+        })();
+        match result {
+            Ok(()) => return Ok(retries),
+            Err(e) if is_transient(e.kind()) && retries + 1 < u64::from(retry.max_attempts.max(1)) => {
+                retries += 1;
+                // Exponential backoff: base × 2^(retry − 1), capped so the
+                // shift cannot overflow under absurd policies.
+                let factor = 1u32 << (retries - 1).min(16) as u32;
+                std::thread::sleep(retry.base_backoff.saturating_mul(factor));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Run `program` on an out-of-core graph with combined single-message
 /// mailboxes and scan selection.
 pub fn run_ooc<P: VertexProgram>(
@@ -328,15 +394,16 @@ pub fn run_ooc<P: VertexProgram>(
         let mut run_starts = Vec::with_capacity(runs.len());
         read_buf.clear();
         let mut bytes_read = 0u64;
+        let mut retries = 0u64;
         for &(off, len) in &runs {
             run_starts.push(read_buf.len());
             let at = read_buf.len();
             read_buf.resize(at + len as usize, 0);
-            file.seek(SeekFrom::Start(off))?;
-            file.read_exact(&mut read_buf[at..])?;
+            retries += read_run(&mut file, off, &mut read_buf[at..], &disk.retry)?;
             bytes_read += len;
         }
-        let seeks = runs.len() as u64;
+        // Every retry re-seeks, so the model prices it as a seek.
+        let seeks = runs.len() as u64 + retries;
         let disk_seconds = bytes_read as f64 / disk.read_bandwidth + seeks as f64 * disk.seek_latency;
         disk_seconds_total += disk_seconds;
 
@@ -392,7 +459,7 @@ pub fn run_ooc<P: VertexProgram>(
             // runs, not a chunk plan; nothing to account here.
             load: None,
         });
-        io_trace.push(IoTrace { superstep, bytes_read, seeks, disk_seconds });
+        io_trace.push(IoTrace { superstep, bytes_read, seeks, retries, disk_seconds });
         std::mem::swap(&mut cur, &mut next);
 
         if program.master_compute(superstep, &values) == MasterDecision::Halt {
@@ -644,6 +711,25 @@ mod tests {
         assert!(OocGraph::open(&path).is_err());
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(path.with_extension("meta"));
+    }
+
+    #[test]
+    fn transient_kinds_retry_others_propagate() {
+        assert!(is_transient(io::ErrorKind::Interrupted));
+        assert!(is_transient(io::ErrorKind::WouldBlock));
+        assert!(is_transient(io::ErrorKind::TimedOut));
+        assert!(!is_transient(io::ErrorKind::UnexpectedEof));
+        assert!(!is_transient(io::ErrorKind::PermissionDenied));
+    }
+
+    #[test]
+    fn healthy_reads_record_zero_retries() {
+        let g = graph(&[(0, 1), (1, 2), (2, 0)]);
+        let ooc = OocGraph::from_graph(&g, temp("retries")).unwrap();
+        let out = run_ooc(&ooc, &Hashmin, &RunConfig::default(), &DiskModel::default()).unwrap();
+        assert!(out.io.iter().all(|t| t.retries == 0));
+        // With no retries, seeks are exactly the planned runs.
+        assert!(out.io.iter().all(|t| t.seeks > 0));
     }
 
     #[test]
