@@ -1,0 +1,186 @@
+//! Trace diff: compare two JSONL superstep traces for regressions.
+//!
+//! ```text
+//! trace BASELINE.jsonl CANDIDATE.jsonl [--threshold PCT]
+//! ```
+//!
+//! Both files are `--trace-out` captures (see docs/INTERNALS.md,
+//! "Observability"). Supersteps present in both traces are aligned by
+//! number and compared on duration and message count; a superstep whose
+//! candidate duration exceeds the baseline by more than `--threshold`
+//! percent (default 20) is flagged as a regression, one that undercuts
+//! it by the same margin as an improvement. Message-count divergence is
+//! always flagged — with a fixed program and graph the traffic is
+//! deterministic, so a mismatch means the runs are not comparable (or
+//! the engine changed behaviour, which is exactly what this tool is for).
+//!
+//! The exit code is 0 whenever both traces parse, regressions or not —
+//! the tool reports, CI policy decides. Pass `--fail-on-regression` to
+//! turn flagged durations into exit code 3. Unreadable or malformed
+//! input exits 1, bad usage 2.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use ipregel::trace::{decode_trace, TraceEvent};
+
+/// The comparable slice of one superstep, keyed by superstep number.
+struct Step {
+    duration_ns: u64,
+    messages: u64,
+    active: u64,
+    chunks: u64,
+}
+
+struct Trace {
+    steps: BTreeMap<u64, Step>,
+    total_ns: u64,
+    total_messages: u64,
+    checkpoint_ns: u64,
+    peak_rss: Option<u64>,
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let events = decode_trace(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let mut t = Trace {
+        steps: BTreeMap::new(),
+        total_ns: 0,
+        total_messages: 0,
+        checkpoint_ns: 0,
+        peak_rss: None,
+    };
+    for e in &events {
+        match *e {
+            TraceEvent::SuperstepEnd { superstep, active, messages, duration_ns, chunks, .. } => {
+                t.steps.insert(superstep, Step { duration_ns, messages, active, chunks });
+            }
+            TraceEvent::RunEnd { messages, duration_ns, .. } => {
+                t.total_ns = duration_ns;
+                t.total_messages = messages;
+            }
+            TraceEvent::CheckpointSave { duration_ns, .. } => t.checkpoint_ns += duration_ns,
+            TraceEvent::Rss { bytes, .. } => {
+                t.peak_rss = Some(t.peak_rss.map_or(bytes, |p| p.max(bytes)))
+            }
+            _ => {}
+        }
+    }
+    if t.steps.is_empty() {
+        return Err(format!(
+            "{path} holds no superstep_end events — was the producer built with --features trace?"
+        ));
+    }
+    Ok(t)
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Signed percentage change from `base` to `cand`; `None` when the
+/// baseline is zero (nothing meaningful to divide by).
+fn pct_change(base: u64, cand: u64) -> Option<f64> {
+    (base > 0).then(|| (cand as f64 - base as f64) / base as f64 * 100.0)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 20.0f64;
+    let mut fail_on_regression = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--threshold needs a number");
+                    return ExitCode::from(2);
+                };
+                threshold = v;
+            }
+            "--fail-on-regression" => fail_on_regression = true,
+            _ => paths.push(a.clone()),
+        }
+    }
+    let [base_path, cand_path] = paths.as_slice() else {
+        eprintln!("usage: trace BASELINE.jsonl CANDIDATE.jsonl [--threshold PCT] [--fail-on-regression]");
+        return ExitCode::from(2);
+    };
+    let (base, cand) = match (load(base_path), load(cand_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    println!("baseline:  {base_path}  ({} supersteps)", base.steps.len());
+    println!("candidate: {cand_path}  ({} supersteps)", cand.steps.len());
+    if base.steps.len() != cand.steps.len() {
+        println!(
+            "NOTE superstep counts differ; comparing the {} shared",
+            base.steps.keys().filter(|s| cand.steps.contains_key(s)).count()
+        );
+    }
+    println!("superstep      base(ms)      cand(ms)    delta  messages");
+
+    let mut regressions = 0usize;
+    let mut divergences = 0usize;
+    for (step, b) in &base.steps {
+        let Some(c) = cand.steps.get(step) else { continue };
+        let delta = pct_change(b.duration_ns, c.duration_ns);
+        let mut flags = String::new();
+        match delta {
+            Some(d) if d > threshold => {
+                flags.push_str("  REGRESSION");
+                regressions += 1;
+            }
+            Some(d) if d < -threshold => flags.push_str("  improvement"),
+            _ => {}
+        }
+        if b.messages != c.messages || b.active != c.active || b.chunks != c.chunks {
+            flags.push_str("  DIVERGED");
+            divergences += 1;
+        }
+        println!(
+            "{step:9}  {:12.3}  {:12.3}  {:>6}  {} -> {}{flags}",
+            ms(b.duration_ns),
+            ms(c.duration_ns),
+            delta.map_or("n/a".to_string(), |d| format!("{d:+.0}%")),
+            b.messages,
+            c.messages,
+        );
+    }
+
+    println!(
+        "totals: {:.3}ms -> {:.3}ms ({}), {} -> {} messages",
+        ms(base.total_ns),
+        ms(cand.total_ns),
+        pct_change(base.total_ns, cand.total_ns)
+            .map_or("n/a".to_string(), |d| format!("{d:+.1}%")),
+        base.total_messages,
+        cand.total_messages,
+    );
+    if base.checkpoint_ns > 0 || cand.checkpoint_ns > 0 {
+        println!(
+            "checkpoint overhead: {:.3}ms -> {:.3}ms",
+            ms(base.checkpoint_ns),
+            ms(cand.checkpoint_ns)
+        );
+    }
+    if let (Some(b), Some(c)) = (base.peak_rss, cand.peak_rss) {
+        println!("peak sampled rss: {b} -> {c} bytes");
+    }
+    println!(
+        "{regressions} regression(s) over {threshold}% | {divergences} divergence(s)",
+    );
+    if divergences > 0 {
+        println!("WARNING divergent supersteps: the two traces did not run the same computation");
+    }
+    if fail_on_regression && (regressions > 0 || divergences > 0) {
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
+}

@@ -49,6 +49,12 @@
 //!                           --checkpoint-dir before running
 //!   --deadline SECS         abort cleanly (with partial stats) if the
 //!                           run exceeds SECS seconds
+//!   --trace-out FILE        write a structured JSONL trace of the run
+//!                           (records events only when the crate is built
+//!                           with `--features trace`; see docs/INTERNALS.md,
+//!                           "Observability")
+//!   --metrics-out FILE      write Prometheus text-format metrics derived
+//!                           from the same trace
 //! ```
 //!
 //! The library entry point [`run_cli`] returns the rendered output so the
@@ -63,7 +69,10 @@ use std::fs::File;
 use std::io::BufReader;
 use std::path::Path;
 
+use std::sync::Arc;
+
 use ipregel::recover::run_with_checkpoints;
+use ipregel::trace::Tracer;
 use ipregel::{
     try_run, try_run_sequential, CheckpointConfig, CombinerKind, Persist, RunConfig, RunError,
     RunOutput, Schedule, Version, VertexProgram,
@@ -80,7 +89,8 @@ pub const USAGE: &str = "usage: ipregel \
 [--schedule vertex|edge|adaptive] \
 [--threads N] [--top K] [--rounds N] [--damping F] [--source ID] [--weighted] [--k N] \
 [--out FILE --out-format edgelist|dimacs|binary] \
-[--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--deadline SECS]";
+[--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--deadline SECS] \
+[--trace-out FILE] [--metrics-out FILE]";
 
 /// CLI failure with a human-readable message.
 #[derive(Debug, PartialEq, Eq)]
@@ -155,6 +165,10 @@ pub struct Options {
     pub resume: bool,
     /// Cooperative wall-clock budget in seconds.
     pub deadline: Option<f64>,
+    /// Write a JSONL superstep trace here (`None` = no trace).
+    pub trace_out: Option<String>,
+    /// Write Prometheus text-format metrics here (`None` = none).
+    pub metrics_out: Option<String>,
 }
 
 /// Parse raw arguments into [`Options`].
@@ -192,6 +206,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         checkpoint_every: 1,
         resume: false,
         deadline: None,
+        trace_out: None,
+        metrics_out: None,
     };
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -246,6 +262,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 }
                 opts.deadline = Some(secs);
             }
+            "--trace-out" => opts.trace_out = Some(value()?.to_string()),
+            "--metrics-out" => opts.metrics_out = Some(value()?.to_string()),
             "--engine" => {
                 opts.engine = match value()? {
                     "ipregel" => EngineChoice::IPregel,
@@ -307,11 +325,12 @@ fn version_for(opts: &Options, default: CombinerKind) -> Version {
     Version { combiner: opts.combiner.unwrap_or(default), selection_bypass: opts.bypass }
 }
 
-fn run_cfg(opts: &Options) -> RunConfig {
+fn run_cfg(opts: &Options, tracer: &Option<Arc<Tracer>>) -> RunConfig {
     RunConfig {
         threads: opts.threads,
         schedule: opts.schedule,
         deadline: opts.deadline.map(std::time::Duration::from_secs_f64),
+        trace: tracer.clone(),
         ..RunConfig::default()
     }
 }
@@ -325,8 +344,9 @@ fn run_app<P: VertexProgram>(
     p: &P,
     version: Version,
     opts: &Options,
+    tracer: &Option<Arc<Tracer>>,
 ) -> Result<RunOutput<P::Value>, CliError> {
-    let cfg = run_cfg(opts);
+    let cfg = run_cfg(opts, tracer);
     match opts.engine {
         EngineChoice::IPregel => try_run(g, p, version, &cfg).map_err(run_error),
         EngineChoice::Sequential => try_run_sequential(g, p, &cfg).map_err(run_error),
@@ -363,6 +383,7 @@ fn run_app_ckpt<P>(
     p: &P,
     version: Version,
     opts: &Options,
+    tracer: &Option<Arc<Tracer>>,
 ) -> Result<RunOutput<P::Value>, CliError>
 where
     P: VertexProgram,
@@ -370,7 +391,7 @@ where
     P::Message: Persist,
 {
     let Some(dir) = &opts.checkpoint_dir else {
-        return run_app(g, p, version, opts);
+        return run_app(g, p, version, opts, tracer);
     };
     if opts.engine != EngineChoice::IPregel {
         return err("--checkpoint-dir needs --engine ipregel");
@@ -379,7 +400,7 @@ where
     if opts.resume {
         ckpt = ckpt.resuming();
     }
-    run_with_checkpoints(g, p, version, &run_cfg(opts), &ckpt).map_err(run_error)
+    run_with_checkpoints(g, p, version, &run_cfg(opts, tracer), &ckpt).map_err(run_error)
 }
 
 fn summary<V>(out: &RunOutput<V>, version: Version) -> String {
@@ -412,6 +433,16 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         ));
     }
     let g = load_graph(&opts)?;
+    // Arm the tracer before dispatch so every engine hook sees it. The
+    // RSS sampler turns memmodel's offline Figure 9 model into a live
+    // per-run series (sampled at superstep barriers).
+    let tracer = if opts.trace_out.is_some() || opts.metrics_out.is_some() {
+        let mut t = Tracer::new();
+        t.set_rss_sampler(ipregel_mem::current_rss_bytes, 4);
+        Some(Arc::new(t))
+    } else {
+        None
+    };
     let mut text = format!(
         "graph: {} (|V|={}, |E|={}{})\n",
         opts.graph,
@@ -430,7 +461,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 return err("PageRank vertices do not halt every superstep; the selection bypass is unsound for it (paper, Section 4)");
             }
             let p = PageRank { rounds: opts.rounds, damping: opts.damping };
-            let out = run_app_ckpt(&g, &p, version, &opts)?;
+            let out = run_app_ckpt(&g, &p, version, &opts, &tracer)?;
             text.push_str(&summary(&out, version));
             let mut ranked: Vec<(u32, f64)> = out.iter().map(|(id, &r)| (id, r)).collect();
             ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -448,9 +479,9 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 if version.combiner == CombinerKind::Broadcast {
                     return err("weighted SSSP sends point-to-point; the broadcast combiner cannot run it");
                 }
-                run_app_ckpt(&g, &WeightedSssp { source: opts.source }, version, &opts)?
+                run_app_ckpt(&g, &WeightedSssp { source: opts.source }, version, &opts, &tracer)?
             } else {
-                run_app_ckpt(&g, &Sssp { source: opts.source }, version, &opts)?
+                run_app_ckpt(&g, &Sssp { source: opts.source }, version, &opts, &tracer)?
             };
             text.push_str(&summary(&out, version));
             let reached = out.iter().filter(|(_, &d)| d != u32::MAX).count();
@@ -468,7 +499,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 return err(format!("source vertex {} is not in the graph", opts.source));
             }
             let version = version_for(&opts, CombinerKind::Spinlock);
-            let out = run_app_ckpt(&g, &Bfs { source: opts.source }, version, &opts)?;
+            let out = run_app_ckpt(&g, &Bfs { source: opts.source }, version, &opts, &tracer)?;
             text.push_str(&summary(&out, version));
             let reached = out.iter().filter(|(_, &d)| d != u32::MAX).count();
             let depth = out.iter().filter(|(_, &d)| d != u32::MAX).map(|(_, &d)| d).max();
@@ -492,7 +523,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 damping: opts.damping,
                 rounds: opts.rounds,
             };
-            let out = run_app_ckpt(&g, &p, version, &opts)?;
+            let out = run_app_ckpt(&g, &p, version, &opts, &tracer)?;
             text.push_str(&summary(&out, version));
             let mut ranked: Vec<(u32, f64)> = out.iter().map(|(id, &r)| (id, r)).collect();
             ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -506,8 +537,9 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 return err(format!("source vertex {} is not in the graph", opts.source));
             }
             let version = version_for(&opts, CombinerKind::Spinlock);
-            let result = ipregel_apps::try_pseudo_diameter(&g, opts.source, version, &run_cfg(&opts))
-                .map_err(run_error)?;
+            let result =
+                ipregel_apps::try_pseudo_diameter(&g, opts.source, version, &run_cfg(&opts, &tracer))
+                    .map_err(run_error)?;
             match result {
                 Some(est) => text.push_str(&format!(
                     "pseudo-diameter: {} (between vertices {} and {})\n",
@@ -522,7 +554,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             }
             let version = version_for(&opts, CombinerKind::Spinlock);
             let out =
-                run_app(&g, &ipregel_apps::Bipartiteness { seed: opts.source }, version, &opts)?;
+                run_app(&g, &ipregel_apps::Bipartiteness { seed: opts.source }, version, &opts, &tracer)?;
             text.push_str(&summary(&out, version));
             let coloured = out.iter().filter(|(_, s)| s.color.is_some()).count();
             let conflicts = out.iter().filter(|(_, s)| s.conflict).count();
@@ -536,14 +568,14 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         }
         "maxvalue" => {
             let version = version_for(&opts, CombinerKind::Spinlock);
-            let out = run_app_ckpt(&g, &ipregel_apps::MaxValue, version, &opts)?;
+            let out = run_app_ckpt(&g, &ipregel_apps::MaxValue, version, &opts, &tracer)?;
             text.push_str(&summary(&out, version));
             let distinct: std::collections::HashSet<u64> = out.iter().map(|(_, &v)| v).collect();
             text.push_str(&format!("distinct converged values: {}\n", distinct.len()));
         }
         "kcore" => {
             let version = version_for(&opts, CombinerKind::Spinlock);
-            let out = run_app(&g, &ipregel_apps::KCore { k: opts.k }, version, &opts)?;
+            let out = run_app(&g, &ipregel_apps::KCore { k: opts.k }, version, &opts, &tracer)?;
             text.push_str(&summary(&out, version));
             let alive = out.iter().filter(|(_, s)| s.alive).count();
             text.push_str(&format!("{}-core size: {} of {}\n", opts.k, alive, g.num_vertices()));
@@ -557,7 +589,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 return err("widest path sends point-to-point; the broadcast combiner cannot run it");
             }
             let out =
-                run_app_ckpt(&g, &ipregel_apps::WidestPath { source: opts.source }, version, &opts)?;
+                run_app_ckpt(&g, &ipregel_apps::WidestPath { source: opts.source }, version, &opts, &tracer)?;
             text.push_str(&summary(&out, version));
             let reached = out.iter().filter(|(_, &w)| w > 0).count();
             text.push_str(&format!("reached: {} of {}\n", reached, g.num_vertices()));
@@ -606,7 +638,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         }
         "components" => {
             let version = version_for(&opts, CombinerKind::Spinlock);
-            let out = run_app_ckpt(&g, &Hashmin, version, &opts)?;
+            let out = run_app_ckpt(&g, &Hashmin, version, &opts, &tracer)?;
             text.push_str(&summary(&out, version));
             let mut sizes: std::collections::HashMap<u32, u64> = Default::default();
             for (_, &label) in out.iter() {
@@ -621,6 +653,17 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             }
         }
         _ => unreachable!("validated in parse_args"),
+    }
+    if let Some(t) = &tracer {
+        let events = t.take_events();
+        if let Some(path) = &opts.trace_out {
+            std::fs::write(path, ipregel::trace::encode_trace(&events))
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        }
+        if let Some(path) = &opts.metrics_out {
+            std::fs::write(path, ipregel::trace::render_prometheus(&events, t.dropped_events()))
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        }
     }
     Ok(text)
 }
@@ -957,5 +1000,44 @@ mod tests {
 ", "txt");
         let e = run_cli(&args(&format!("convert --graph {}", f.0.display()))).unwrap_err();
         assert!(e.0.contains("--out"), "{e}");
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let o = parse_args(&args("sssp --graph g --trace-out t.jsonl --metrics-out m.prom"))
+            .unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(o.metrics_out.as_deref(), Some("m.prom"));
+        assert!(parse_args(&args("sssp --graph g --trace-out")).is_err());
+    }
+
+    #[test]
+    fn trace_and_metrics_sinks_are_written() {
+        use ipregel::trace::TraceEvent;
+        let f = temp_graph("0 1\n1 0\n2 3\n3 2\n", "txt");
+        let n = std::process::id();
+        let trace_path = std::env::temp_dir().join(format!("ipregel-cli-trace-{n}.jsonl"));
+        let metrics_path = std::env::temp_dir().join(format!("ipregel-cli-metrics-{n}.prom"));
+        let out = run_cli(&args(&format!(
+            "components --graph {} --threads 2 --trace-out {} --metrics-out {}",
+            f.0.display(),
+            trace_path.display(),
+            metrics_path.display(),
+        )))
+        .unwrap();
+        assert!(out.contains("components: 2"), "{out}");
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        let events = ipregel::trace::decode_trace(&trace).unwrap();
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(metrics.contains("ipregel_supersteps_total"), "{metrics}");
+        if cfg!(feature = "trace") {
+            assert!(matches!(events.first(), Some(TraceEvent::RunBegin { .. })), "{events:?}");
+            assert!(matches!(events.last(), Some(TraceEvent::RunEnd { .. })), "{events:?}");
+            assert!(events.iter().any(|e| matches!(e, TraceEvent::Chunk { .. })), "{events:?}");
+        } else {
+            assert!(events.is_empty(), "disabled tracing must record nothing: {events:?}");
+        }
+        let _ = std::fs::remove_file(trace_path);
+        let _ = std::fs::remove_file(metrics_path);
     }
 }

@@ -52,6 +52,12 @@ pub struct RunConfig {
     /// carrying the [`RunStats`] of every completed superstep. `None`
     /// (the default) runs to quiescence.
     pub deadline: Option<Duration>,
+    /// Observability sink (see [`crate::trace`]). `None` — the default —
+    /// records nothing; so does `Some` unless the crate is built with
+    /// the `trace` cargo feature, which compiles the engines' hook
+    /// calls in. Shared as an `Arc` so the caller keeps a handle to
+    /// drain with [`crate::trace::Tracer::take_events`] after the run.
+    pub trace: Option<std::sync::Arc<crate::trace::Tracer>>,
 }
 
 /// Why a fallible run stopped before quiescence.

@@ -32,6 +32,7 @@ use crate::program::{Context, MasterDecision, VertexProgram};
 use crate::recover::DynHooks;
 use crate::selection::{EpochTags, Worklist};
 use crate::sync_cell::SharedSlice;
+use crate::trace::{self, TraceEvent};
 
 /// Run `program` on `graph` with the pull-based combiner.
 ///
@@ -139,6 +140,13 @@ where
     let in_csr = graph.in_csr().expect("asserted by run_pull");
     let schedule = chunks::resolve(config.schedule, in_csr, chunks::max_chunks());
 
+    let tracer = config.trace.as_deref();
+    trace::emit_sync(tracer, || TraceEvent::RunBegin {
+        engine: trace::EngineKind::Pull,
+        slots: slots as u64,
+        threads: rayon::current_num_threads() as u64,
+    });
+
     // Restore a pending checkpoint. The snapshot's combined inbox stands
     // in for the first resumed superstep's gather (the outboxes that fed
     // it died with the old process); everything downstream — broadcasts,
@@ -176,6 +184,11 @@ where
             };
             restored_inbox = Some(state.inbox);
             if active.is_empty() {
+                trace::emit_sync(tracer, || TraceEvent::RunEnd {
+                    supersteps: stats.num_supersteps() as u64,
+                    messages: stats.total_messages(),
+                    duration_ns: trace::ns(stats.total_time),
+                });
                 return Ok(RunOutput::new(values, map, stats, footprint));
             }
         }
@@ -193,6 +206,7 @@ where
                     restored_inbox.is_none(),
                     "due() never fires at the resume floor, so the restored inbox is consumed"
                 );
+                let ck_t0 = Instant::now();
                 let inbox: Vec<Option<P::Message>> = (0..slots as u32)
                     .map(|v| {
                         let mut acc: Option<P::Message> = None;
@@ -211,6 +225,10 @@ where
                     stats.supersteps.iter().map(|s| (s.active, s.messages_sent)).collect();
                 h.save(superstep, &values, &halted, &inbox, &history)
                     .map_err(|source| RunError::Checkpoint { superstep, source })?;
+                trace::emit_sync(tracer, || TraceEvent::CheckpointSave {
+                    superstep: superstep as u64,
+                    duration_ns: trace::ns(ck_t0.elapsed()),
+                });
             }
         }
         if let Some(deadline) = config.deadline {
@@ -219,6 +237,7 @@ where
             }
         }
 
+        trace::emit_sync(tracer, || TraceEvent::SuperstepBegin { superstep: superstep as u64 });
         let t0 = Instant::now();
         let epoch = superstep as u32 + 1;
         let plan = chunks::plan(schedule, &active, slots, in_csr, config.grain);
@@ -232,6 +251,7 @@ where
             let gather = superstep > 0;
             let restored_ref: Option<&[Option<P::Message>]> = restored_inbox.as_deref();
             let active_ref: &[VertexIndex] = &active;
+            let chunk_edges: &[u64] = &plan.chunk_edges;
             plan.chunks
                 .par_iter()
                 .enumerate()
@@ -240,6 +260,7 @@ where
                     // inside the rayon task, joined at the barrier.
                     catch_unwind(AssertUnwindSafe(|| {
                         let c_t0 = Instant::now();
+                        let cont0 = trace::contention::snapshot();
                         let (mut sent, mut not_halted, mut ran) = (0u64, 0u64, 0u64);
                         #[cfg(feature = "chaos")]
                         crate::chaos::maybe_panic(crate::chaos::CHUNK_PANIC, superstep as u64);
@@ -300,7 +321,20 @@ where
                             not_halted += u64::from(!ctx.halt_vote);
                             ran += 1;
                         }
-                        (sent, not_halted, ran, c_t0.elapsed())
+                        let elapsed = c_t0.elapsed();
+                        // Worker-side record: lands in this worker's
+                        // shard, drained in chunk order at the barrier.
+                        let delta = trace::contention::snapshot().delta_since(&cont0);
+                        trace::emit(tracer, || TraceEvent::Chunk {
+                            superstep: superstep as u64,
+                            chunk: ci as u64,
+                            planned_edges: chunk_edges[ci],
+                            duration_ns: trace::ns(elapsed),
+                            lock_acquisitions: delta.lock_acquisitions,
+                            cas_retries: delta.cas_retries,
+                            spin_iterations: delta.spin_iterations,
+                        });
+                        (sent, not_halted, ran, elapsed)
                     }))
                     .map_err(|payload| ChunkPanic {
                         chunk: ci,
@@ -352,6 +386,21 @@ where
             load: Some(LoadStats { chunk_edges: plan.chunk_edges, chunk_durations }),
         });
 
+        // Barrier: drain the workers' chunk events into the log (in
+        // chunk order) before closing the superstep span.
+        trace::barrier(tracer, superstep);
+        trace::emit_sync(tracer, || {
+            let s = stats.supersteps.last().expect("pushed above");
+            TraceEvent::SuperstepEnd {
+                superstep: s.superstep as u64,
+                active: s.active,
+                messages: s.messages_sent,
+                duration_ns: trace::ns(s.duration),
+                selection_ns: trace::ns(s.selection_duration),
+                chunks: s.load.as_ref().map_or(0, |l| l.chunk_edges.len() as u64),
+            }
+        });
+
         // Recycle the read buffer: clear only slots its writers touched,
         // then swap read/write roles.
         {
@@ -391,7 +440,16 @@ where
                 } else {
                     // Sorted drain (see push engine): locality plus the
                     // ordered list the chunk planner needs.
-                    wl.drain_sorted()
+                    let drained = wl.drain_sorted();
+                    // `queued` counts epoch-claimed pushes; `drained` is
+                    // the deduplicated active list for the superstep
+                    // about to run (`superstep` was already advanced).
+                    trace::emit_sync(tracer, || TraceEvent::WorklistDrain {
+                        superstep: superstep as u64,
+                        queued: n_active as u64,
+                        drained: drained.len() as u64,
+                    });
+                    drained
                 }
             }
             None => {
@@ -411,6 +469,11 @@ where
         }
     }
 
+    trace::emit_sync(tracer, || TraceEvent::RunEnd {
+        supersteps: stats.num_supersteps() as u64,
+        messages: stats.total_messages(),
+        duration_ns: trace::ns(stats.total_time),
+    });
     Ok(RunOutput::new(values, map, stats, footprint))
 }
 

@@ -27,6 +27,7 @@ use crate::program::{Context, MasterDecision, VertexProgram};
 use crate::recover::DynHooks;
 use crate::selection::Worklist;
 use crate::sync_cell::SharedSlice;
+use crate::trace::{self, TraceEvent};
 
 /// Run `program` on `graph` with mailbox flavour `MB`.
 ///
@@ -124,6 +125,13 @@ where
     let out_csr = graph.out_csr().expect("asserted by run_push");
     let schedule = chunks::resolve(config.schedule, out_csr, chunks::max_chunks());
 
+    let tracer = config.trace.as_deref();
+    trace::emit_sync(tracer, || TraceEvent::RunBegin {
+        engine: trace::EngineKind::Push,
+        slots: slots as u64,
+        threads: rayon::current_num_threads() as u64,
+    });
+
     // Restore a pending checkpoint: values, flags and superstep land
     // as-is; the combined inbox re-delivers into fresh mailboxes; the
     // active list is rebuilt by this engine's own selection rule, so a
@@ -166,6 +174,11 @@ where
                     .collect()
             };
             if active.is_empty() {
+                trace::emit_sync(tracer, || TraceEvent::RunEnd {
+                    supersteps: stats.num_supersteps() as u64,
+                    messages: stats.total_messages(),
+                    duration_ns: trace::ns(stats.total_time),
+                });
                 return Ok(RunOutput::new(values, map, stats, footprint));
             }
         }
@@ -177,11 +190,16 @@ where
         // state here, so checkpoints and cancellation are clean.
         if let Some(h) = hooks.as_deref_mut() {
             if h.due(superstep) {
+                let ck_t0 = Instant::now();
                 let inbox: Vec<Option<P::Message>> = cur.iter().map(Mailbox::snapshot).collect();
                 let history: Vec<(u64, u64)> =
                     stats.supersteps.iter().map(|s| (s.active, s.messages_sent)).collect();
                 h.save(superstep, &values, &halted, &inbox, &history)
                     .map_err(|source| RunError::Checkpoint { superstep, source })?;
+                trace::emit_sync(tracer, || TraceEvent::CheckpointSave {
+                    superstep: superstep as u64,
+                    duration_ns: trace::ns(ck_t0.elapsed()),
+                });
             }
         }
         if let Some(deadline) = config.deadline {
@@ -190,6 +208,7 @@ where
             }
         }
 
+        trace::emit_sync(tracer, || TraceEvent::SuperstepBegin { superstep: superstep as u64 });
         let t0 = Instant::now();
         let plan = chunks::plan(schedule, &active, slots, out_csr, config.grain);
         let per_chunk: Vec<Result<(u64, Duration), ChunkPanic>> = {
@@ -199,6 +218,7 @@ where
             let cur_ref: &[MB] = &cur;
             let wl = bypass.as_ref();
             let active_ref: &[VertexIndex] = &active;
+            let chunk_edges: &[u64] = &plan.chunk_edges;
             plan.chunks
                 .par_iter()
                 .enumerate()
@@ -209,6 +229,7 @@ where
                     // `RunError::VertexPanic` at the barrier.
                     catch_unwind(AssertUnwindSafe(|| {
                         let c_t0 = Instant::now();
+                        let cont0 = trace::contention::snapshot();
                         let mut sent = 0u64;
                         #[cfg(feature = "chaos")]
                         crate::chaos::maybe_panic(crate::chaos::CHUNK_PANIC, superstep as u64);
@@ -235,7 +256,20 @@ where
                             unsafe { *halted_view.get_mut(v as usize) = ctx.halt_vote };
                             sent += ctx.sent;
                         }
-                        (sent, c_t0.elapsed())
+                        let elapsed = c_t0.elapsed();
+                        // Worker-side record: lands in this worker's
+                        // shard, drained in chunk order at the barrier.
+                        let delta = trace::contention::snapshot().delta_since(&cont0);
+                        trace::emit(tracer, || TraceEvent::Chunk {
+                            superstep: superstep as u64,
+                            chunk: ci as u64,
+                            planned_edges: chunk_edges[ci],
+                            duration_ns: trace::ns(elapsed),
+                            lock_acquisitions: delta.lock_acquisitions,
+                            cas_retries: delta.cas_retries,
+                            spin_iterations: delta.spin_iterations,
+                        });
+                        (sent, elapsed)
                     }))
                     .map_err(|payload| ChunkPanic {
                         chunk: ci,
@@ -281,6 +315,21 @@ where
             load: Some(LoadStats { chunk_edges: plan.chunk_edges, chunk_durations }),
         });
 
+        // Barrier: drain the workers' chunk events into the log (in
+        // chunk order) before closing the superstep span.
+        trace::barrier(tracer, superstep);
+        trace::emit_sync(tracer, || {
+            let s = stats.supersteps.last().expect("pushed above");
+            TraceEvent::SuperstepEnd {
+                superstep: s.superstep as u64,
+                active: s.active,
+                messages: s.messages_sent,
+                duration_ns: trace::ns(s.duration),
+                selection_ns: trace::ns(s.selection_duration),
+                chunks: s.load.as_ref().map_or(0, |l| l.chunk_edges.len() as u64),
+            }
+        });
+
         // Deliveries for superstep s+1 are in `next`; make them current.
         std::mem::swap(&mut cur, &mut next);
 
@@ -316,7 +365,17 @@ where
                 } else {
                     // Sorted drain: scan-order locality, and the ordered
                     // list the chunk planner's prefix-weight cut needs.
-                    wl.drain_sorted()
+                    let drained = wl.drain_sorted();
+                    // `queued` counts raw pushes (duplicates included);
+                    // `drained` is the deduplicated active list for the
+                    // superstep about to run (`superstep` was already
+                    // advanced past the one that filled the worklist).
+                    trace::emit_sync(tracer, || TraceEvent::WorklistDrain {
+                        superstep: superstep as u64,
+                        queued: n_active as u64,
+                        drained: drained.len() as u64,
+                    });
+                    drained
                 }
             }
             None => {
@@ -337,6 +396,11 @@ where
         }
     }
 
+    trace::emit_sync(tracer, || TraceEvent::RunEnd {
+        supersteps: stats.num_supersteps() as u64,
+        messages: stats.total_messages(),
+        duration_ns: trace::ns(stats.total_time),
+    });
     Ok(RunOutput::new(values, map, stats, footprint))
 }
 

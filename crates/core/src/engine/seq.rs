@@ -21,6 +21,7 @@ use crate::engine::{panic_message, RunConfig, RunError, RunOutput, RunResult};
 use crate::metrics::{FootprintReport, LoadStats, RunStats, SuperstepStats};
 use crate::program::{Context, MasterDecision, VertexProgram};
 use crate::recover::DynHooks;
+use crate::trace::{self, TraceEvent};
 
 /// Run `program` on `graph` single-threaded with scan selection.
 ///
@@ -81,6 +82,13 @@ pub fn try_run_sequential_recoverable<P: VertexProgram>(
     let mut stats = RunStats::default();
     let mut superstep = 0usize;
 
+    let tracer = config.trace.as_deref();
+    trace::emit_sync(tracer, || TraceEvent::RunBegin {
+        engine: trace::EngineKind::Seq,
+        slots: slots as u64,
+        threads: 1,
+    });
+
     // Restore a pending checkpoint: this engine's inbox buffer has the
     // checkpoint's exact shape, so the state drops straight in.
     if let Some(h) = hooks.as_deref_mut() {
@@ -112,10 +120,15 @@ pub fn try_run_sequential_recoverable<P: VertexProgram>(
     loop {
         if let Some(h) = hooks.as_deref_mut() {
             if h.due(superstep) {
+                let ck_t0 = Instant::now();
                 let history: Vec<(u64, u64)> =
                     stats.supersteps.iter().map(|s| (s.active, s.messages_sent)).collect();
                 h.save(superstep, &values, &halted, &cur, &history)
                     .map_err(|source| RunError::Checkpoint { superstep, source })?;
+                trace::emit_sync(tracer, || TraceEvent::CheckpointSave {
+                    superstep: superstep as u64,
+                    duration_ns: trace::ns(ck_t0.elapsed()),
+                });
             }
         }
         if let Some(deadline) = config.deadline {
@@ -124,6 +137,7 @@ pub fn try_run_sequential_recoverable<P: VertexProgram>(
             }
         }
 
+        trace::emit_sync(tracer, || TraceEvent::SuperstepBegin { superstep: superstep as u64 });
         let t0 = Instant::now();
         // One implicit chunk: catch a panicking `compute` and surface it
         // as the same `VertexPanic` the parallel engines produce.
@@ -183,6 +197,26 @@ pub fn try_run_sequential_recoverable<P: VertexProgram>(
             // trivial (and trivially balanced) case of the schedulers.
             load: Some(LoadStats { chunk_edges: vec![edges], chunk_durations: vec![duration] }),
         });
+        // Single-threaded: the orchestrator emits the whole span itself
+        // (one implicit chunk; barrier still samples RSS on cadence).
+        trace::emit_sync(tracer, || TraceEvent::Chunk {
+            superstep: superstep as u64,
+            chunk: 0,
+            planned_edges: edges,
+            duration_ns: trace::ns(duration),
+            lock_acquisitions: 0,
+            cas_retries: 0,
+            spin_iterations: 0,
+        });
+        trace::barrier(tracer, superstep);
+        trace::emit_sync(tracer, || TraceEvent::SuperstepEnd {
+            superstep: superstep as u64,
+            active,
+            messages: sent,
+            duration_ns: trace::ns(duration),
+            selection_ns: 0,
+            chunks: 1,
+        });
         std::mem::swap(&mut cur, &mut next);
 
         if program.master_compute(superstep, &values) == MasterDecision::Halt {
@@ -202,6 +236,11 @@ pub fn try_run_sequential_recoverable<P: VertexProgram>(
         }
     }
 
+    trace::emit_sync(tracer, || TraceEvent::RunEnd {
+        supersteps: stats.num_supersteps() as u64,
+        messages: stats.total_messages(),
+        duration_ns: trace::ns(stats.total_time),
+    });
     Ok(RunOutput::new(values, map, stats, footprint))
 }
 

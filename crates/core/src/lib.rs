@@ -76,6 +76,7 @@ pub mod recover;
 pub mod selection;
 pub mod sync;
 pub mod sync_cell;
+pub mod trace;
 pub mod version;
 
 pub use engine::pull::{run_pull, try_run_pull};
@@ -86,4 +87,5 @@ pub use mailbox::{AtomicMailbox, Mailbox, MutexMailbox, PackMessage, SpinGuard, 
 pub use metrics::{FootprintReport, LoadStats, RunStats, SuperstepStats};
 pub use program::{check_combiner, combiners, Context, MasterDecision, VertexProgram};
 pub use recover::{CheckpointConfig, Persist, ResumeState};
+pub use trace::{EngineKind, TraceEvent, Tracer};
 pub use version::{run, run_packed, try_run, try_run_packed, CombinerKind, Version};

@@ -107,7 +107,10 @@ impl<M: PackMessage + Send + Sync> Mailbox<M> for AtomicMailbox<M> {
             // combine read above and publish the message for the reader.
             match self.state.compare_exchange_weak(cur, proposed, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return cur == EMPTY,
-                Err(now) => cur = now,
+                Err(now) => {
+                    crate::trace::contention::note_cas_retry();
+                    cur = now;
+                }
             }
         }
     }

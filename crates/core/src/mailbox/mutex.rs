@@ -31,6 +31,7 @@ impl<M: Copy + Send> Mailbox<M> for MutexMailbox<M> {
 
     fn deliver(&self, msg: M, combine: fn(&mut M, M)) -> bool {
         let mut guard = self.slot.lock().expect("mailbox lock poisoned");
+        crate::trace::contention::note_lock_acquisition();
         match guard.as_mut() {
             Some(old) => {
                 combine(old, msg);

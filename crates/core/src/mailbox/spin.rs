@@ -53,6 +53,9 @@ impl SpinLock {
     /// it on drop.
     #[inline]
     pub fn lock(&self) -> SpinGuard<'_> {
+        // Spin accounting exists only in `trace` builds; `cfg!` keeps a
+        // single code path while the counter increments compile away.
+        let mut spins = 0u64;
         while self
             .locked
             .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
@@ -62,9 +65,14 @@ impl SpinLock {
             // contended line (test-and-test-and-set). Under loom the hint
             // yields to the model scheduler so the owner can progress.
             while self.locked.load(Ordering::Relaxed) {
+                if cfg!(feature = "trace") {
+                    spins += 1;
+                }
                 spin_loop();
             }
         }
+        crate::trace::contention::note_spin_iterations(spins);
+        crate::trace::contention::note_lock_acquisition();
         SpinGuard { lock: self }
     }
 

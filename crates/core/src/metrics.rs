@@ -145,6 +145,54 @@ impl RunStats {
             .fold(1.0, f64::max)
     }
 
+    /// Cross-check these stats against a trace (see [`crate::trace`]):
+    /// every [`crate::trace::TraceEvent::SuperstepEnd`] must mirror its
+    /// [`SuperstepStats`] entry exactly in superstep number, active
+    /// count, message count and chunk count, and the trace must cover
+    /// the same supersteps in order. `Err` names the first divergence.
+    /// This is the invariant `tests/trace_consistency.rs` pins and the
+    /// `bench trace` differ relies on.
+    pub fn reconcile_trace(&self, events: &[crate::trace::TraceEvent]) -> Result<(), String> {
+        use crate::trace::TraceEvent;
+        let ends: Vec<_> = events
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::SuperstepEnd { superstep, active, messages, chunks, .. } => {
+                    Some((superstep, active, messages, chunks))
+                }
+                _ => None,
+            })
+            .collect();
+        if ends.len() != self.supersteps.len() {
+            return Err(format!(
+                "trace has {} superstep_end events, stats have {} supersteps",
+                ends.len(),
+                self.supersteps.len()
+            ));
+        }
+        for (s, &(superstep, active, messages, chunks)) in self.supersteps.iter().zip(&ends) {
+            if s.superstep as u64 != superstep {
+                return Err(format!("superstep order: trace {superstep}, stats {}", s.superstep));
+            }
+            if s.active != active {
+                return Err(format!("superstep {superstep}: trace active {active}, stats {}", s.active));
+            }
+            if s.messages_sent != messages {
+                return Err(format!(
+                    "superstep {superstep}: trace messages {messages}, stats {}",
+                    s.messages_sent
+                ));
+            }
+            let stat_chunks = s.load.as_ref().map_or(0, |l| l.chunk_edges.len() as u64);
+            if stat_chunks != chunks {
+                return Err(format!(
+                    "superstep {superstep}: trace chunks {chunks}, stats {stat_chunks}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// A compact ASCII sparkline of active vertices per superstep — the
     /// §7.1.4 activity evolutions at a glance: PageRank renders flat,
     /// Hashmin decreasing, SSSP as a bell.

@@ -478,7 +478,15 @@ where
     P::Value: Persist,
     P::Message: Persist,
 {
+    let restore_t0 = std::time::Instant::now();
     let mut hooks = DiskCheckpointer::<P::Value, P::Message>::open(ckpt)?;
+    if ckpt.resume {
+        // `open` just read, decoded and checksum-verified the snapshot.
+        crate::trace::emit_sync(config.trace.as_deref(), || crate::trace::TraceEvent::CheckpointRestore {
+            superstep: hooks.resume_floor.unwrap_or(0) as u64,
+            duration_ns: crate::trace::ns(restore_t0.elapsed()),
+        });
+    }
     crate::version::try_run_recoverable(graph, program, version, config, Some(&mut hooks))
 }
 
@@ -496,7 +504,15 @@ where
     P::Value: Persist,
     P::Message: Persist + PackMessage,
 {
+    let restore_t0 = std::time::Instant::now();
     let mut hooks = DiskCheckpointer::<P::Value, P::Message>::open(ckpt)?;
+    if ckpt.resume {
+        // `open` just read, decoded and checksum-verified the snapshot.
+        crate::trace::emit_sync(config.trace.as_deref(), || crate::trace::TraceEvent::CheckpointRestore {
+            superstep: hooks.resume_floor.unwrap_or(0) as u64,
+            duration_ns: crate::trace::ns(restore_t0.elapsed()),
+        });
+    }
     crate::version::try_run_packed_recoverable(graph, program, version, config, Some(&mut hooks))
 }
 

@@ -35,6 +35,7 @@ use ipregel::mailbox::{Mailbox, SpinMailbox};
 use ipregel::metrics::{FootprintReport, RunStats, SuperstepStats};
 use ipregel::program::{Context, MasterDecision, VertexProgram};
 use ipregel::sync_cell::SharedSlice;
+use ipregel::trace::{self, TraceEvent};
 use ipregel_graph::csr::Weight;
 use ipregel_graph::{AddressMap, Graph, VertexId, VertexIndex};
 use rayon::prelude::*;
@@ -387,7 +388,15 @@ pub fn run_ooc<P: VertexProgram>(
     let mut file = ooc.file.try_clone()?;
     let mut read_buf: Vec<u8> = Vec::new();
 
+    let tracer = config.trace.as_deref();
+    trace::emit_sync(tracer, || TraceEvent::RunBegin {
+        engine: trace::EngineKind::Ooc,
+        slots: slots as u64,
+        threads: rayon::current_num_threads() as u64,
+    });
+
     loop {
+        trace::emit_sync(tracer, || TraceEvent::SuperstepBegin { superstep: superstep as u64 });
         let t0 = Instant::now();
         // ---- IO phase: stream the active vertices' adjacency ----
         let (runs, slices) = plan_reads(ooc, &active, 4096);
@@ -460,6 +469,28 @@ pub fn run_ooc<P: VertexProgram>(
             load: None,
         });
         io_trace.push(IoTrace { superstep, bytes_read, seeks, retries, disk_seconds });
+        // Close the superstep span: I/O detail first, then the mirror of
+        // the SuperstepStats entry just pushed. No worker-side events
+        // here (parallelism is bounded by I/O runs, not a chunk plan),
+        // but the barrier still drives the periodic RSS sampler.
+        trace::barrier(tracer, superstep);
+        trace::emit_sync(tracer, || TraceEvent::Io {
+            superstep: superstep as u64,
+            bytes_read,
+            seeks,
+            retries,
+        });
+        trace::emit_sync(tracer, || {
+            let s = stats.supersteps.last().expect("pushed above");
+            TraceEvent::SuperstepEnd {
+                superstep: s.superstep as u64,
+                active: s.active,
+                messages: s.messages_sent,
+                duration_ns: trace::ns(s.duration),
+                selection_ns: trace::ns(s.selection_duration),
+                chunks: 0,
+            }
+        });
         std::mem::swap(&mut cur, &mut next);
 
         if program.master_compute(superstep, &values) == MasterDecision::Halt {
@@ -486,6 +517,11 @@ pub fn run_ooc<P: VertexProgram>(
         }
     }
 
+    trace::emit_sync(tracer, || TraceEvent::RunEnd {
+        supersteps: stats.num_supersteps() as u64,
+        messages: stats.total_messages(),
+        duration_ns: trace::ns(stats.total_time),
+    });
     let compute_seconds = stats.total_time.as_secs_f64();
     let output = RunOutput::new(values, map, stats, footprint);
     Ok(OocOutput {

@@ -33,7 +33,7 @@ pub mod rss;
 pub use compare::{fit_affine, FitReport, MeasuredPoint};
 pub use layout::{LayoutModel, VersionFootprint};
 pub use locks::{lock_protection_bytes, LockKind};
-pub use rss::{breaking_point_percent, RssModel};
+pub use rss::{breaking_point_percent, current_rss_bytes, RssModel};
 
 /// Decimal gigabytes, as the paper reports ("11.01GB", "109GB").
 pub const GB: f64 = 1e9;

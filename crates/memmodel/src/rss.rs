@@ -75,6 +75,23 @@ pub fn breaking_point_percent(
     (1..=100).rev().find(|&pct| model.rss_at_percent(vertices, edges, pct) <= ram_bytes)
 }
 
+/// The *measured* counterpart of the model: current resident set size
+/// of this process in bytes, read from `/proc/self/status` (`VmRSS`).
+/// `None` off Linux or if the field is missing. Plain `fn` shape so it
+/// plugs straight into `ipregel::trace::Tracer::set_rss_sampler` — the
+/// tracer takes periodic samples at superstep barriers, turning Figure
+/// 9's offline model into a live per-run series.
+pub fn current_rss_bytes() -> Option<u64> {
+    if cfg!(not(target_os = "linux")) {
+        return None;
+    }
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    // Format: "VmRSS:    123456 kB".
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// Least-squares linearity check over measured `(scale_percent, bytes)`
 /// points: returns the maximum relative deviation of any point from the
 /// fitted line. Small values justify Figure 9's linear projection.
@@ -183,5 +200,15 @@ mod tests {
     #[test]
     fn breaking_point_none_when_nothing_fits() {
         assert_eq!(breaking_point_percent(&RssModel::default(), TWITTER.0, TWITTER.1, 1.0), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn current_rss_reads_a_plausible_value() {
+        let rss = current_rss_bytes().expect("VmRSS should exist on Linux");
+        // A running test process occupies at least a few hundred kB and
+        // (sanity bound) less than a terabyte.
+        assert!(rss > 100 * 1024, "rss {rss}");
+        assert!(rss < 1 << 40, "rss {rss}");
     }
 }

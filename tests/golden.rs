@@ -160,6 +160,47 @@ fn pagerank_matches_golden_within_tolerance() {
 }
 
 #[test]
+fn tracing_does_not_perturb_golden_results() {
+    // Observability must be read-only: arming a tracer through
+    // `RunConfig::trace` cannot change a single bit of the computed
+    // values, whether the `trace` feature compiles the hooks to real
+    // recording or to no-ops. The sequential oracle makes the PageRank
+    // comparison exact (same f64 bits, not same-within-tolerance).
+    let g = fixture("fixture_a.txt");
+    let program = PageRank { rounds: ROUNDS, damping: DAMPING };
+    let plain = run_sequential(&g, &program, &RunConfig::default());
+    let tracer = std::sync::Arc::new(ipregel::trace::Tracer::new());
+    let traced_cfg = RunConfig { trace: Some(tracer.clone()), ..RunConfig::default() };
+    let traced = run_sequential(&g, &program, &traced_cfg);
+    for ((id_a, a), (id_b, b)) in plain.iter().zip(traced.iter()) {
+        assert_eq!(id_a, id_b);
+        assert_eq!(a.to_bits(), b.to_bits(), "vertex {id_a}: tracing changed a PageRank bit");
+    }
+
+    // Same for a parallel engine on exact integer values.
+    let v = Version { combiner: CombinerKind::Spinlock, selection_bypass: false };
+    let cfg = RunConfig { threads: Some(4), ..RunConfig::default() };
+    let plain = run(&g, &Hashmin, v, &cfg);
+    let traced = run(
+        &g,
+        &Hashmin,
+        v,
+        &RunConfig { trace: Some(tracer.clone()), ..cfg },
+    );
+    assert_eq!(plain.values, traced.values, "tracing changed Hashmin labels");
+
+    // And the no-op guarantee itself: without the feature the armed
+    // tracer must have recorded nothing at all.
+    let events = tracer.take_events();
+    if cfg!(feature = "trace") {
+        assert!(!events.is_empty(), "trace feature is on but the runs recorded nothing");
+    } else {
+        assert!(events.is_empty(), "trace-off hooks must be no-ops, got {events:?}");
+        assert_eq!(tracer.dropped_events(), 0);
+    }
+}
+
+#[test]
 fn golden_runs_record_load_stats() {
     // The golden fixtures double as a smoke test for the scheduling
     // metrics: every parallel superstep must report a load plan whose

@@ -1,0 +1,169 @@
+//! Schema tests for the JSONL trace codec (docs/INTERNALS.md,
+//! "Observability").
+//!
+//! Two guarantees, independent of whether the `trace` feature is on
+//! (the codec is always compiled):
+//!
+//! * **Round-trip**: every event type survives encode → decode exactly,
+//!   for arbitrary field values — property-tested across the full `u64`
+//!   range, so the 20-digit extremes exercise the hand-rolled integer
+//!   parser.
+//! * **Stability**: the byte-level encoding of schema version 1 is
+//!   pinned against `tests/fixtures/trace_schema.v1.jsonl`. A failure
+//!   here means the wire format changed: bump
+//!   `ipregel::trace::SCHEMA_VERSION` and regenerate the fixture
+//!   deliberately instead of silently breaking stored traces.
+
+use std::path::Path;
+
+use ipregel::trace::{
+    decode_line, decode_trace, encode_event, encode_meta, encode_trace, EngineKind, TraceEvent,
+    SCHEMA_VERSION,
+};
+use proptest::prelude::*;
+
+fn fixture_text() -> String {
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/trace_schema.v1.jsonl");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The event list whose encoding the committed fixture pins: one of
+/// every variant, every engine-independent field exercised.
+fn fixture_events() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent::RunBegin { engine: EngineKind::Push, slots: 24, threads: 4 },
+        TraceEvent::SuperstepBegin { superstep: 0 },
+        TraceEvent::Chunk {
+            superstep: 0,
+            chunk: 0,
+            planned_edges: 100,
+            duration_ns: 2500,
+            lock_acquisitions: 7,
+            cas_retries: 2,
+            spin_iterations: 31,
+        },
+        TraceEvent::Rss { superstep: 0, bytes: 1_048_576 },
+        TraceEvent::SuperstepEnd {
+            superstep: 0,
+            active: 24,
+            messages: 48,
+            duration_ns: 9000,
+            selection_ns: 150,
+            chunks: 1,
+        },
+        TraceEvent::WorklistDrain { superstep: 1, queued: 12, drained: 9 },
+        TraceEvent::CheckpointSave { superstep: 1, duration_ns: 4000 },
+        TraceEvent::CheckpointRestore { superstep: 1, duration_ns: 3000 },
+        TraceEvent::Io { superstep: 1, bytes_read: 4096, seeks: 3, retries: 1 },
+        TraceEvent::RunEnd { supersteps: 2, messages: 96, duration_ns: 20000 },
+    ]
+}
+
+#[test]
+fn schema_version_1_encoding_is_pinned_byte_for_byte() {
+    assert_eq!(SCHEMA_VERSION, 1, "fixture pins version 1; regenerate it for a new schema");
+    let encoded = encode_trace(&fixture_events());
+    let fixture = fixture_text();
+    // Compare line by line first for a readable failure, then exactly.
+    for (i, (got, want)) in encoded.lines().zip(fixture.lines()).enumerate() {
+        assert_eq!(got, want, "line {i} of the trace encoding drifted from the fixture");
+    }
+    assert_eq!(encoded, fixture, "trace encoding drifted from tests/fixtures/trace_schema.v1.jsonl");
+}
+
+#[test]
+fn the_committed_fixture_decodes_to_the_pinned_events() {
+    assert_eq!(decode_trace(&fixture_text()).unwrap(), fixture_events());
+}
+
+#[test]
+fn meta_header_is_pinned() {
+    assert_eq!(encode_meta(), "{\"type\":\"meta\",\"schema\":1}");
+    assert_eq!(decode_line("{\"type\":\"meta\",\"schema\":1}").unwrap(), None);
+}
+
+#[test]
+fn unsupported_schema_versions_are_rejected() {
+    let newer = "{\"type\":\"meta\",\"schema\":999}\n";
+    assert!(decode_trace(newer).unwrap_err().contains("999"));
+}
+
+#[test]
+fn malformed_lines_are_rejected_with_context() {
+    for bad in [
+        "not json",
+        "{\"type\":\"chunk\"}",                       // missing fields
+        "{\"type\":\"wibble\",\"superstep\":0}",      // unknown event
+        "{\"type\":\"rss\",\"superstep\":0,\"bytes\":\"big\"}", // string where number expected
+        "{\"type\":\"run_begin\",\"engine\":\"gpu\",\"slots\":1,\"threads\":1}", // unknown engine
+    ] {
+        assert!(decode_line(bad).is_err(), "{bad:?} should not parse");
+    }
+    assert!(
+        decode_trace("{\"type\":\"superstep_begin\",\"superstep\":0}\n").is_err(),
+        "an event before the meta header must be rejected"
+    );
+}
+
+/// Strategy over every event variant with arbitrary field values.
+fn any_event() -> impl Strategy<Value = TraceEvent> {
+    let engine = prop_oneof![
+        Just(EngineKind::Push),
+        Just(EngineKind::Pull),
+        Just(EngineKind::Seq),
+        Just(EngineKind::Ooc),
+    ];
+    prop_oneof![
+        (engine, any::<u64>(), any::<u64>())
+            .prop_map(|(engine, slots, threads)| TraceEvent::RunBegin { engine, slots, threads }),
+        any::<u64>().prop_map(|superstep| TraceEvent::SuperstepBegin { superstep }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(superstep, chunk, planned_edges, duration_ns, lock_acquisitions, cas_retries, spin_iterations)| {
+                TraceEvent::Chunk {
+                    superstep,
+                    chunk,
+                    planned_edges,
+                    duration_ns,
+                    lock_acquisitions,
+                    cas_retries,
+                    spin_iterations,
+                }
+            }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(superstep, active, messages, duration_ns, selection_ns, chunks)| {
+                TraceEvent::SuperstepEnd { superstep, active, messages, duration_ns, selection_ns, chunks }
+            }),
+        (any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(superstep, queued, drained)| TraceEvent::WorklistDrain { superstep, queued, drained }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(superstep, duration_ns)| TraceEvent::CheckpointSave { superstep, duration_ns }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(superstep, duration_ns)| TraceEvent::CheckpointRestore { superstep, duration_ns }),
+        (any::<u64>(), any::<u64>()).prop_map(|(superstep, bytes)| TraceEvent::Rss { superstep, bytes }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(superstep, bytes_read, seeks, retries)| TraceEvent::Io { superstep, bytes_read, seeks, retries }),
+        (any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(supersteps, messages, duration_ns)| TraceEvent::RunEnd { supersteps, messages, duration_ns }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_event_round_trips_through_the_codec(e in any_event()) {
+        let line = encode_event(&e);
+        prop_assert_eq!(decode_line(&line).unwrap(), Some(e));
+    }
+
+    #[test]
+    fn whole_traces_round_trip(events in proptest::collection::vec(any_event(), 0..64)) {
+        let text = encode_trace(&events);
+        prop_assert_eq!(decode_trace(&text).unwrap(), events);
+    }
+}
+
+#[test]
+fn u64_extremes_round_trip() {
+    let e = TraceEvent::Rss { superstep: u64::MAX, bytes: u64::MAX };
+    assert_eq!(decode_line(&encode_event(&e)).unwrap(), Some(e));
+}
