@@ -233,8 +233,8 @@ mod tests {
         }
         let g = b.build().unwrap();
         let r = pagerank_power(&g, 20, 0.85);
-        for v in 0..4 {
-            assert!((r[v] - 0.25).abs() < 1e-12);
+        for rank in r.iter().take(4) {
+            assert!((rank - 0.25).abs() < 1e-12);
         }
     }
 

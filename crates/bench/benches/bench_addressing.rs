@@ -3,7 +3,7 @@
 //! paper argues against. The array strategies should be near-free; the
 //! hashmap pays hashing and cache misses on every delivery.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipregel_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ipregel_graph::{AddressMap, HashAddressMap};
 use std::hint::black_box;
 

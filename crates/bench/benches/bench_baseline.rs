@@ -1,7 +1,7 @@
 //! Criterion companion to the `baseline` binary: iPregel's best version
 //! against the naive shared-memory engine, per application.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipregel_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use femtograph_sim::run_naive;
 use ipregel::{run, CombinerKind, RunConfig, Version};
 use ipregel_apps::{Hashmin, PageRank, Sssp};

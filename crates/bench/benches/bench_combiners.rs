@@ -2,9 +2,9 @@
 //! synchronisation strategies (block-waiting mutex, busy-waiting
 //! spinlock, lock-free CAS) under contention and without.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipregel_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ipregel::{AtomicMailbox, Mailbox, MutexMailbox, SpinMailbox};
-use rayon::prelude::*;
+use ipregel_par::prelude::*;
 use std::hint::black_box;
 
 fn min32(old: &mut u32, new: u32) {

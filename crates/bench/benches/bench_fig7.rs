@@ -3,7 +3,7 @@
 //! 99%-confidence margin is under 1% — criterion's sampling is the
 //! modern equivalent).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipregel_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ipregel::{run, RunConfig, Version, VertexProgram};
 use ipregel_apps::{Hashmin, PageRank, Sssp};
 use ipregel_bench::SEED;

@@ -6,7 +6,7 @@
 //! time per superstep should stay roughly flat (the gather dominates)
 //! while the push engine's shrinks with the ratio.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipregel_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ipregel::{run, CombinerKind, Context, RunConfig, Version, VertexProgram};
 use ipregel_graph::generators::erdos_renyi::erdos_renyi_edges;
 use ipregel_graph::{GraphBuilder, NeighborMode, VertexId};

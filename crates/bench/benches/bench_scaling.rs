@@ -6,7 +6,7 @@
 //! strategies and internal parallelism" as future work; this suite is
 //! that investigation at benchmark scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipregel_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ipregel::{run, CombinerKind, RunConfig, Version};
 use ipregel_apps::{Hashmin, PageRank};
 use ipregel_bench::SEED;
@@ -35,7 +35,7 @@ fn scaling(c: &mut Criterion) {
         group.finish();
     }
 
-    // Grain (minimum vertices per rayon task): too fine pays scheduling
+    // Grain (minimum vertices per pool task): too fine pays scheduling
     // overhead, too coarse loses balance on skewed frontiers.
     let mut group = c.benchmark_group("grain_hashmin_spin_bypass");
     group.sample_size(10);

@@ -3,7 +3,7 @@
 //! active vertex per superstep, so the scan's per-superstep O(|V|) check
 //! dominates while the bypass touches only the frontier.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipregel_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ipregel::{run, CombinerKind, RunConfig, Version};
 use ipregel_apps::Sssp;
 use ipregel_graph::generators::analogs::USA_ROADS;

@@ -16,13 +16,16 @@ use ipregel_bench::{human_bytes, rule, threads, PaperGraphs, PAGERANK_ROUNDS, SS
 use ipregel_graph::Graph;
 use pregelplus_sim::{simulate, ClusterSpec, CostModel, MemoryModel};
 
+/// Result comparator: do two value vectors agree for this app?
+type Agree<'a, V> = &'a dyn Fn(&[V], &[V]) -> bool;
+
 fn row<P: VertexProgram>(
     g: &Graph,
     divisor: u64,
     app: &'static str,
     p: &P,
     best: Version,
-    agree: &dyn Fn(&[P::Value], &[P::Value]) -> bool,
+    agree: Agree<'_, P::Value>,
 ) {
     let cfg = RunConfig { threads: Some(threads()), ..RunConfig::default() };
 

@@ -14,9 +14,7 @@ use ipregel_bench::{
     append_result, human_bytes, rule, threads, PaperGraphs, PAGERANK_ROUNDS, SSSP_SOURCE,
 };
 use ipregel_graph::Graph;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Record {
     figure: &'static str,
     graph: String,
@@ -26,6 +24,8 @@ struct Record {
     ipregel_overhead_bytes: usize,
     naive_overhead_bytes: usize,
 }
+
+ipregel::impl_to_json!(Record { figure, graph, app, ipregel_seconds, naive_seconds, ipregel_overhead_bytes, naive_overhead_bytes });
 
 fn compare<P: VertexProgram>(
     graph_label: &str,

@@ -16,9 +16,7 @@ use ipregel_bench::{
     append_result, rule, secs, threads, PaperGraphs, PAGERANK_ROUNDS, SSSP_SOURCE,
 };
 use ipregel_graph::Graph;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Record {
     figure: &'static str,
     graph: String,
@@ -30,6 +28,8 @@ struct Record {
     messages: u64,
     footprint_bytes: usize,
 }
+
+ipregel::impl_to_json!(Record { figure, graph, divisor, app, version, seconds, supersteps, messages, footprint_bytes });
 
 fn measure<P: VertexProgram>(
     g: &Graph,

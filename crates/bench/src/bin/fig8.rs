@@ -22,12 +22,10 @@ use ipregel_graph::Graph;
 use pregelplus_sim::{
     extrapolate_series, lead_change, simulate, ClusterSpec, CostModel, MemoryModel, NodesPoint,
 };
-use serde::Serialize;
 
 const MEASURED_NODES: [usize; 5] = [1, 2, 4, 8, 16];
 const EXTRAPOLATE_TO: usize = 32_768;
 
-#[derive(Serialize)]
 struct Record {
     figure: &'static str,
     graph: String,
@@ -36,6 +34,8 @@ struct Record {
     series: Vec<NodesPoint>,
     lead_change: Option<usize>,
 }
+
+ipregel::impl_to_json!(Record { figure, graph, app, ipregel_seconds, series, lead_change });
 
 fn bench_app<P: VertexProgram>(
     graph_label: &str,

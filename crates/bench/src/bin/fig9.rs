@@ -19,9 +19,7 @@ use ipregel_graph::generators::analogs::FRIENDSTER;
 use ipregel_graph::NeighborMode;
 use ipregel_mem::rss::validate_linear;
 use ipregel_mem::{breaking_point_percent, RssModel, GB};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Record {
     figure: &'static str,
     percent: u32,
@@ -31,6 +29,8 @@ struct Record {
     measured_bytes: usize,
     modelled_paper_scale_bytes: f64,
 }
+
+ipregel::impl_to_json!(Record { figure, percent, divisor, vertices, edges, measured_bytes, modelled_paper_scale_bytes });
 
 fn main() {
     let divisor = twitter_divisor();

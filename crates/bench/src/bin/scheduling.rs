@@ -20,9 +20,7 @@ use ipregel_apps::{Hashmin, PageRank, Sssp};
 use ipregel_bench::{append_result, rule, secs, threads, SEED};
 use ipregel_graph::generators::{barabasi_albert_edges, rmat_edges, watts_strogatz_edges, RmatParams};
 use ipregel_graph::{Graph, GraphBuilder, NeighborMode};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Record {
     figure: &'static str,
     graph: &'static str,
@@ -38,6 +36,8 @@ struct Record {
     worst_edge_imbalance: f64,
     worst_duration_imbalance: f64,
 }
+
+ipregel::impl_to_json!(Record { figure, graph, vertices, edges, max_out_degree, app, version, schedule, threads, seconds, supersteps, worst_edge_imbalance, worst_duration_imbalance });
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)

@@ -19,6 +19,7 @@
 // "Safety model").
 #![forbid(unsafe_code)]
 
+pub mod microbench;
 pub mod svg;
 
 use std::fs;
@@ -28,7 +29,7 @@ use std::time::Duration;
 
 use ipregel_graph::generators::analogs::{DatasetSpec, TWITTER_MPI, USA_ROADS, WIKIPEDIA};
 use ipregel_graph::{Graph, NeighborMode};
-use serde::Serialize;
+use ipregel::json::ToJson;
 
 /// Deterministic seed shared by all harness graphs.
 pub const SEED: u64 = 20180813; // ICPP'18 started August 13, 2018
@@ -119,16 +120,14 @@ pub fn human_bytes(b: f64) -> String {
 }
 
 /// Append a serialisable record as one JSON line under `results/`.
-pub fn append_result<T: Serialize>(file: &str, record: &T) {
+pub fn append_result<T: ToJson>(file: &str, record: &T) {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
     if fs::create_dir_all(&dir).is_err() {
         return; // results files are best-effort; printing is the contract
     }
     let path = dir.join(file);
     if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) {
-        if let Ok(line) = serde_json::to_string(record) {
-            let _ = writeln!(f, "{line}");
-        }
+        let _ = writeln!(f, "{}", record.to_json());
     }
 }
 

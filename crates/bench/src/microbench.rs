@@ -1,0 +1,224 @@
+//! In-tree micro-benchmark harness, replacing the `criterion` dev
+//! dependency for the `harness = false` bench targets.
+//!
+//! The module exposes exactly the criterion surface those files used —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId::from_parameter`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — so porting a bench file is a one-line import change.
+//!
+//! What it does NOT do: statistical outlier classification, regression
+//! detection against saved baselines, or plotting. Each benchmark is
+//! timed as `sample_size` wall-clock samples (after one warm-up call)
+//! and reported as min / median / mean. That is adequate for the
+//! relative comparisons these files make (mailbox flavors, addressing
+//! schemes, version sweeps); absolute confidence intervals were always
+//! the job of the `src/bin` harnesses, which run their own repetition
+//! protocol.
+//!
+//! Environment knobs:
+//! - `IPREGEL_BENCH_SAMPLES=N` overrides every group's sample count
+//!   (useful to smoke-run the suite quickly: `IPREGEL_BENCH_SAMPLES=2`).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level driver handed to each registered benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup { name, sample_size: 100 }
+    }
+
+    /// A single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = BenchmarkGroup { name: id.clone(), sample_size: 100 };
+        group.run_named(&id, f);
+    }
+}
+
+/// A named benchmark within a group, as criterion's `BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from the swept parameter's `Display` form.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(format!("{p}"))
+    }
+}
+
+/// A group of benchmarks sharing a sample count and a report prefix.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set how many timed samples each benchmark in the group takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time `f`'s [`Bencher::iter`] body under `id`.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.0.clone();
+        self.run_named(&label, f);
+    }
+
+    /// Criterion's input-threading variant; the input is borrowed by the
+    /// closure exactly as before.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.0.clone();
+        self.run_named(&label, |b| f(b, input));
+    }
+
+    /// End the group (report lines were already printed per benchmark).
+    pub fn finish(self) {}
+
+    fn run_named<F>(&mut self, label: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = std::env::var("IPREGEL_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map_or(self.sample_size, |n| n.max(1));
+        let mut bencher = Bencher { samples, durations: Vec::with_capacity(samples) };
+        f(&mut bencher);
+        report(&self.name, label, &mut bencher.durations);
+    }
+}
+
+/// The timing handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` once untimed (warm-up), then `sample_size` timed samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, label: &str, durations: &mut [Duration]) {
+    if durations.is_empty() {
+        println!("{group}/{label:<24} (no samples: closure never called iter)");
+        return;
+    }
+    durations.sort_unstable();
+    let min = durations[0];
+    let median = durations[durations.len() / 2];
+    let mean = durations.iter().sum::<Duration>() / durations.len() as u32;
+    println!(
+        "{group}/{label:<24} min {:>12} | median {:>12} | mean {:>12} ({} samples)",
+        fmt_dur(min),
+        fmt_dur(median),
+        fmt_dur(mean),
+        durations.len(),
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into one runner, as criterion's macro did.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::microbench::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target. Ignores the
+/// `--bench` flag and any filter arguments cargo passes through.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+// Re-export the crate-root macros here so bench files can import the
+// whole surface from one path, mirroring `use criterion::{...}`.
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        std::env::remove_var("IPREGEL_BENCH_SAMPLES");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function(BenchmarkId::from_parameter("noop"), |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn bench_with_input_threads_the_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke_input");
+        group.sample_size(2);
+        let input = 21u64;
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(input), &input, |b, &x| {
+            b.iter(|| seen = x * 2);
+        });
+        group.finish();
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_dur(Duration::from_nanos(42)), "42 ns");
+        assert_eq!(fmt_dur(Duration::from_micros(150)), "150.00 µs");
+        assert_eq!(fmt_dur(Duration::from_millis(25)), "25.00 ms");
+        assert_eq!(fmt_dur(Duration::from_secs(12)), "12.00 s");
+    }
+}

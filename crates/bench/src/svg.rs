@@ -86,7 +86,7 @@ fn tick_label(v: f64) -> String {
         return "0".into();
     }
     let a = v.abs();
-    if a >= 1e6 || a < 1e-3 {
+    if !(1e-3..1e6).contains(&a) {
         format!("{v:.0e}")
     } else if a >= 100.0 {
         format!("{v:.0}")

@@ -33,7 +33,7 @@
 //!   --schedule S            vertex | edge | adaptive — how supersteps are
 //!                           cut into parallel chunks (default vertex;
 //!                           edge balances by degree, for skewed graphs)
-//!   --threads N             rayon threads (default: all cores)
+//!   --threads N             worker threads (default: all cores)
 //!   --top K                 print the K most extreme results (default 10)
 //!   --rounds N              PageRank iterations (default 30)
 //!   --damping F             PageRank damping (default 0.85)

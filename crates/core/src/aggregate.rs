@@ -7,7 +7,7 @@
 //! array, usable inside [`crate::VertexProgram::master_compute`] to
 //! implement convergence tests, global minima, counts, etc.
 
-use rayon::prelude::*;
+use ipregel_par::prelude::*;
 
 /// Reduce `values` with `map` then the associative `fold` (identity-less;
 /// returns `None` on empty input).

@@ -20,7 +20,7 @@
 //!   [`std::io::ErrorKind::Interrupted`], exercising bounded retry.
 //!
 //! The plan is process-global (injection sites must be reachable with
-//! zero plumbing, including from rayon workers), so tests that arm a
+//! zero plumbing, including from pool workers), so tests that arm a
 //! plan serialise themselves — see `tests/fault_injection.rs`.
 
 use std::sync::{Mutex, PoisonError};

@@ -10,7 +10,7 @@
 //! The flow per superstep: the engine calls [`plan`] with the active list
 //! and the direction-relevant CSR (out-edges for push, in-edges for pull —
 //! weight must track where the superstep's work actually is), executes one
-//! rayon task per returned chunk, and records per-chunk edge weights and
+//! pool task per returned chunk, and records per-chunk edge weights and
 //! durations into [`crate::metrics::LoadStats`] so imbalance is observable
 //! in `RunStats` rather than inferred from wall clock.
 
@@ -82,7 +82,7 @@ impl FromStr for Schedule {
     }
 }
 
-/// Chunks to aim for per pool thread. More than 1 lets rayon's work
+/// Chunks to aim for per pool thread. More than 1 lets the pool's work
 /// stealing absorb residual imbalance (a chunk's true cost is its edges
 /// *visited*, which the planner can only approximate by degree); too many
 /// wastes planning and accounting work.
@@ -95,10 +95,10 @@ pub(crate) enum Resolved {
     EdgeBalanced,
 }
 
-/// Chunks to cut for the current rayon pool. Engines call this inside
+/// Chunks to cut for the current thread pool. Engines call this inside
 /// `in_pool`, so `current_num_threads` reflects `RunConfig::threads`.
 pub(crate) fn max_chunks() -> usize {
-    rayon::current_num_threads().max(1) * CHUNKS_PER_THREAD
+    ipregel_par::current_num_threads().max(1) * CHUNKS_PER_THREAD
 }
 
 /// Collapse `schedule` against `csr` (the direction the engine walks),

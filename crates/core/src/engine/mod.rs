@@ -2,7 +2,7 @@
 //! engine shapes (push-combining and pull-combining).
 //!
 //! An engine owns the BSP loop of Figure 1: select active vertices, run
-//! `compute` on them in parallel (rayon stands in for the paper's
+//! `compute` on them in parallel (the `ipregel_par` pool stands in for the paper's
 //! OpenMP), deliver messages, synchronise, repeat until no vertex is
 //! active and no message is in flight.
 
@@ -26,7 +26,7 @@ pub struct RunConfig {
     /// PageRank); the engine trusts the caller, exactly as iPregel trusts
     /// the user's compile flag.
     pub selection_bypass: bool,
-    /// Size of the rayon pool; `None` uses the global default. The paper
+    /// Size of the thread pool; `None` uses the global default. The paper
     /// runs with 2 OpenMP threads on its 2-core EC2 instances.
     pub threads: Option<usize>,
     /// Safety cap on supersteps; `None` runs to quiescence.
@@ -64,7 +64,7 @@ pub struct RunConfig {
 ///
 /// The engines fail *at barriers*: a panicking vertex program is caught
 /// inside its chunk (the other chunks of that superstep drain normally,
-/// the rayon pool survives), a missed deadline is noticed at the next
+/// the thread pool survives), a missed deadline is noticed at the next
 /// superstep boundary, and checkpoint I/O happens only while the engine
 /// is quiescent. Every variant that interrupts a run therefore carries
 /// the [`RunStats`] of the supersteps that *did* complete.
@@ -212,10 +212,10 @@ impl<V> RunOutput<V> {
 pub(crate) fn in_pool<R: Send>(threads: Option<usize>, f: impl FnOnce() -> R + Send) -> R {
     match threads {
         None => f(),
-        Some(t) => rayon::ThreadPoolBuilder::new()
+        Some(t) => ipregel_par::ThreadPoolBuilder::new()
             .num_threads(t.max(1))
             .build()
-            .expect("failed to build rayon pool")
+            .expect("failed to build thread pool")
             .install(f),
     }
 }
@@ -243,7 +243,7 @@ mod tests {
 
     #[test]
     fn in_pool_respects_thread_count() {
-        let threads = in_pool(Some(3), rayon::current_num_threads);
+        let threads = in_pool(Some(3), ipregel_par::current_num_threads);
         assert_eq!(threads, 3);
         let _ = in_pool(None, || Duration::ZERO);
     }

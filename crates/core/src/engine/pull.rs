@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 
 use ipregel_graph::csr::Weight;
 use ipregel_graph::{Graph, VertexId, VertexIndex};
-use rayon::prelude::*;
+use ipregel_par::prelude::*;
 
 use crate::engine::{
     chunks, in_pool, panic_message, ChunkPanic, RunConfig, RunError, RunOutput, RunResult,
@@ -54,7 +54,7 @@ where
 
 /// Fallible [`run_pull`]: vertex panics surface as
 /// [`RunError::VertexPanic`], a missed [`RunConfig::deadline`] as
-/// [`RunError::DeadlineExceeded`] — in both cases the rayon pool
+/// [`RunError::DeadlineExceeded`] — in both cases the thread pool
 /// survives and the error carries the completed supersteps' stats.
 ///
 /// # Panics
@@ -144,7 +144,7 @@ where
     trace::emit_sync(tracer, || TraceEvent::RunBegin {
         engine: trace::EngineKind::Pull,
         slots: slots as u64,
-        threads: rayon::current_num_threads() as u64,
+        threads: ipregel_par::current_num_threads() as u64,
     });
 
     // Restore a pending checkpoint. The snapshot's combined inbox stands
@@ -257,7 +257,7 @@ where
                 .enumerate()
                 .map(|(ci, c)| {
                     // Panic isolation, as in the push engine: caught
-                    // inside the rayon task, joined at the barrier.
+                    // inside the pool task, joined at the barrier.
                     catch_unwind(AssertUnwindSafe(|| {
                         let c_t0 = Instant::now();
                         let cont0 = trace::contention::snapshot();

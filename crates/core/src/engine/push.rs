@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 
 use ipregel_graph::csr::Weight;
 use ipregel_graph::{Graph, VertexId, VertexIndex};
-use rayon::prelude::*;
+use ipregel_par::prelude::*;
 
 use crate::engine::{
     chunks, in_pool, panic_message, ChunkPanic, RunConfig, RunError, RunOutput, RunResult,
@@ -46,7 +46,7 @@ where
 
 /// Fallible [`run_push`]: vertex panics surface as
 /// [`RunError::VertexPanic`], a missed [`RunConfig::deadline`] as
-/// [`RunError::DeadlineExceeded`] — in both cases the rayon pool
+/// [`RunError::DeadlineExceeded`] — in both cases the thread pool
 /// survives and the error carries the completed supersteps' stats.
 ///
 /// # Panics
@@ -129,7 +129,7 @@ where
     trace::emit_sync(tracer, || TraceEvent::RunBegin {
         engine: trace::EngineKind::Push,
         slots: slots as u64,
-        threads: rayon::current_num_threads() as u64,
+        threads: ipregel_par::current_num_threads() as u64,
     });
 
     // Restore a pending checkpoint: values, flags and superstep land
@@ -223,7 +223,7 @@ where
                 .par_iter()
                 .enumerate()
                 .map(|(ci, c)| {
-                    // A panicking `compute` is caught *inside* the rayon
+                    // A panicking `compute` is caught *inside* the pool
                     // task: sibling chunks drain normally and the pool
                     // survives; the failure is joined into a
                     // `RunError::VertexPanic` at the barrier.

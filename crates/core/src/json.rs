@@ -1,0 +1,258 @@
+//! Hand-rolled JSON serialization, replacing the `serde`/`serde_json`
+//! pair for the workspace's one serializer call site (the bench
+//! harness's JSONL result files).
+//!
+//! The output is byte-compatible with what `serde_json::to_string`
+//! produced for the same derives: objects keyed by field name in
+//! declaration order, `Duration` as `{"secs":…,"nanos":…}`, `Option`
+//! as `null`/value, `Vec` as arrays. Two deliberate divergences:
+//! non-finite floats serialize as `null` instead of erroring, and
+//! integral floats print without a trailing `.0` (both are valid JSON;
+//! no consumer parses the files back into typed structs — the trace
+//! JSONL codec in [`crate::trace`] is a separate, round-tripping
+//! format).
+//!
+//! Deriving: [`impl_to_json!`](crate::impl_to_json) lists a struct's
+//! fields once, mirroring what `#[derive(Serialize)]` read from the
+//! definition:
+//!
+//! ```
+//! use ipregel::impl_to_json;
+//! struct Point { x: u32, y: u32 }
+//! impl_to_json!(Point { x, y });
+//! let mut s = String::new();
+//! ipregel::json::ToJson::write_json(&Point { x: 1, y: 2 }, &mut s);
+//! assert_eq!(s, r#"{"x":1,"y":2}"#);
+//! ```
+
+use std::time::Duration;
+
+/// Types that can write themselves as a JSON value.
+pub trait ToJson {
+    /// Append this value's JSON encoding to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// The value as a standalone JSON string.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+macro_rules! to_json_display_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 40], i128::from(*self)));
+            }
+        }
+    )*};
+}
+
+/// Format an integer without the formatting machinery (hot JSONL path).
+fn itoa_buf(buf: &mut [u8; 40], mut v: i128) -> &str {
+    let neg = v < 0;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let digit = (v % 10).unsigned_abs() as u8;
+        buf[i] = b'0' + digit;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    // SAFETY-FREE: digits and '-' are ASCII, always valid UTF-8.
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+to_json_display_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl ToJson for usize {
+    fn write_json(&self, out: &mut String) {
+        (*self as u64).write_json(out);
+    }
+}
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl ToJson for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // Rust's shortest round-trip formatting; always a valid
+            // JSON number for finite values.
+            out.push_str(&format!("{self}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl ToJson for f32 {
+    fn write_json(&self, out: &mut String) {
+        f64::from(*self).write_json(out);
+    }
+}
+
+impl ToJson for Duration {
+    /// serde's layout for `Duration`: `{"secs":…,"nanos":…}`.
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"secs\":");
+        self.as_secs().write_json(out);
+        out.push_str(",\"nanos\":");
+        self.subsec_nanos().write_json(out);
+        out.push('}');
+    }
+}
+
+/// JSON string escaping: the two mandatory classes (`"`/`\`) plus
+/// control characters; everything else passes through as UTF-8.
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl ToJson for str {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(self, out);
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(self, out);
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.write_json(out),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+/// Implement [`ToJson`] for a struct by listing its fields in
+/// declaration order — the replacement for `#[derive(Serialize)]`.
+#[macro_export]
+macro_rules! impl_to_json {
+    ($name:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $name {
+            fn write_json(&self, out: &mut String) {
+                out.push('{');
+                let mut __first = true;
+                $(
+                    if !__first {
+                        out.push(',');
+                    }
+                    #[allow(unused_assignments)]
+                    {
+                        __first = false;
+                    }
+                    out.push('"');
+                    out.push_str(stringify!($field));
+                    out.push_str("\":");
+                    $crate::json::ToJson::write_json(&self.$field, out);
+                )+
+                out.push('}');
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Outer {
+        name: &'static str,
+        seconds: f64,
+        took: Duration,
+        maybe: Option<u32>,
+        series: Vec<u64>,
+        flag: bool,
+    }
+    impl_to_json!(Outer { name, seconds, took, maybe, series, flag });
+
+    #[test]
+    fn struct_encoding_matches_serde_layout() {
+        let v = Outer {
+            name: "ba\"se\\line\n",
+            seconds: 1.5,
+            took: Duration::new(3, 250),
+            maybe: None,
+            series: vec![1, 2, 3],
+            flag: true,
+        };
+        assert_eq!(
+            v.to_json(),
+            r#"{"name":"ba\"se\\line\n","seconds":1.5,"took":{"secs":3,"nanos":250},"maybe":null,"series":[1,2,3],"flag":true}"#
+        );
+    }
+
+    #[test]
+    fn integers_cover_extremes() {
+        assert_eq!(u64::MAX.to_json(), "18446744073709551615");
+        assert_eq!(i64::MIN.to_json(), "-9223372036854775808");
+        assert_eq!(0u32.to_json(), "0");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(f64::INFINITY.to_json(), "null");
+        assert_eq!((-0.0f64).to_json(), "-0");
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        assert_eq!("\u{1}".to_json(), "\"\\u0001\"");
+    }
+}

@@ -69,6 +69,7 @@ pub mod aggregate;
 #[cfg(feature = "chaos")]
 pub mod chaos;
 pub mod engine;
+pub mod json;
 pub mod mailbox;
 pub mod metrics;
 pub mod program;

@@ -8,10 +8,9 @@
 
 use std::time::Duration;
 
-use serde::Serialize;
 
 /// What happened during one superstep.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuperstepStats {
     /// Superstep number, starting at 0.
     pub superstep: usize,
@@ -32,6 +31,8 @@ pub struct SuperstepStats {
     pub load: Option<LoadStats>,
 }
 
+crate::impl_to_json!(SuperstepStats { superstep, active, messages_sent, duration, selection_duration, load });
+
 /// Per-chunk load accounting for one superstep's compute phase.
 ///
 /// The two vectors are parallel: chunk `i` was *planned* to carry
@@ -40,13 +41,15 @@ pub struct SuperstepStats {
 /// `chunk_durations[i]` of wall-clock. Planned weight is deterministic,
 /// so tests assert on [`LoadStats::edge_imbalance`]; duration is the
 /// ground truth the scheduling bench reports.
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LoadStats {
     /// Planned edge weight of each chunk.
     pub chunk_edges: Vec<u64>,
     /// Measured wall-clock of each chunk's compute loop.
     pub chunk_durations: Vec<Duration>,
 }
+
+crate::impl_to_json!(LoadStats { chunk_edges, chunk_durations });
 
 impl LoadStats {
     /// Number of chunks the superstep was cut into.
@@ -85,13 +88,15 @@ fn ratio_max_mean(values: impl Iterator<Item = f64>) -> f64 {
 }
 
 /// Aggregated statistics of a complete run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Every superstep, in order.
     pub supersteps: Vec<SuperstepStats>,
     /// Total superstep execution time (the paper's reported metric).
     pub total_time: Duration,
 }
+
+crate::impl_to_json!(RunStats { supersteps, total_time });
 
 impl RunStats {
     /// Number of supersteps executed.
@@ -218,7 +223,7 @@ impl RunStats {
 /// Section 7.4.4 discusses memory: topology vs. framework overhead, and
 /// within the overhead, the data-race protection the paper halves and then
 /// zeroes out.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FootprintReport {
     /// Bytes of the graph topology (CSR arrays); "the graph itself".
     pub graph_bytes: usize,
@@ -233,6 +238,8 @@ pub struct FootprintReport {
     /// Bytes of the selection-bypass worklists (0 when scanning).
     pub worklist_bytes: usize,
 }
+
+crate::impl_to_json!(FootprintReport { graph_bytes, values_bytes, mailbox_bytes, lock_bytes, flags_bytes, worklist_bytes });
 
 impl FootprintReport {
     /// Framework overhead: everything except the graph topology.

@@ -241,7 +241,7 @@ impl<V: Persist, M: Persist> RecoveryHooks<V, M> for DiskCheckpointer<V, M> {
     fn due(&self, superstep: usize) -> bool {
         self.every != 0
             && superstep != 0
-            && superstep % self.every == 0
+            && superstep.is_multiple_of(self.every)
             && Some(superstep) != self.resume_floor
     }
 
@@ -447,7 +447,7 @@ fn latest_valid<V: Persist, M: Persist>(dir: &Path) -> Option<ResumeState<V, M>>
             Some((superstep, path))
         })
         .collect();
-    candidates.sort_by(|a, b| b.0.cmp(&a.0));
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
     candidates
         .into_iter()
         .find_map(|(_, path)| decode_checkpoint(&fs::read(path).ok()?).ok())
@@ -520,7 +520,9 @@ where
 mod tests {
     use super::*;
 
-    fn sample_state() -> (usize, Vec<u32>, Vec<bool>, Vec<Option<u32>>, Vec<(u64, u64)>) {
+    type SampleState = (usize, Vec<u32>, Vec<bool>, Vec<Option<u32>>, Vec<(u64, u64)>);
+
+    fn sample_state() -> SampleState {
         let slots = 21; // deliberately not a multiple of 8
         let values: Vec<u32> = (0..slots as u32).map(|v| v * 3 + 1).collect();
         let halted: Vec<bool> = (0..slots).map(|v| v % 3 == 0).collect();

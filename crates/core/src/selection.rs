@@ -25,11 +25,11 @@ use crate::sync::atomic::{AtomicU32, Ordering};
 use crate::sync::cell::UnsafeCell;
 use crate::sync::Mutex;
 
-use crossbeam::utils::CachePadded;
+use ipregel_par::CachePadded;
 use ipregel_graph::VertexIndex;
 
 /// A concurrent list of vertices to run next superstep, with one private
-/// shard per rayon worker thread.
+/// shard per pool worker thread.
 ///
 /// The hot path — `push` from inside a parallel region — is a plain
 /// `Vec::push` into the calling worker's own shard: no lock, no shared
@@ -38,7 +38,7 @@ use ipregel_graph::VertexIndex;
 /// outside the pool (never the engines' case) fall back to a mutex.
 ///
 /// # Safety model
-/// A shard is touched only by the worker whose `rayon`
+/// A shard is touched only by the worker whose pool
 /// thread index owns it; `len`/`drain_to_vec`/`clear` are called by the
 /// orchestrating thread strictly between parallel regions (after the
 /// superstep barrier), when no pushes are in flight.
@@ -57,13 +57,13 @@ unsafe impl Send for Worklist {}
 
 impl Worklist {
     /// A worklist for a graph of `slots` vertices, sharded for the
-    /// current rayon pool (engines construct it inside their pool).
+    /// current thread pool (engines construct it inside their pool).
     pub fn new(slots: usize) -> Self {
-        Self::with_shards(slots, rayon::current_num_threads().max(1))
+        Self::with_shards(slots, ipregel_par::current_num_threads().max(1))
     }
 
     /// A worklist with an explicit shard count. Exposed for tests (the
-    /// loom suite models the shard handoff without a rayon pool); the
+    /// loom suite models the shard handoff without a thread pool); the
     /// engines use [`Worklist::new`].
     pub fn with_shards(slots: usize, shards: usize) -> Self {
         let shards = shards.max(1);
@@ -79,9 +79,9 @@ impl Worklist {
     /// keeps total pushes bounded by the vertex count per superstep.
     #[inline]
     pub fn push(&self, v: VertexIndex) {
-        match rayon::current_thread_index() {
+        match ipregel_par::current_thread_index() {
             // SAFETY: worker `i` is the only thread that ever touches
-            // shard `i` inside a parallel region (rayon worker indices
+            // shard `i` inside a parallel region (pool worker indices
             // are unique within the pool).
             Some(i) => unsafe { self.push_to_shard(i % self.shards.len(), v) },
             None => self.fallback.lock().expect("worklist fallback poisoned").push(v),
@@ -90,7 +90,7 @@ impl Worklist {
 
     /// Append `v` to a specific shard.
     ///
-    /// [`Worklist::push`] derives the shard from the rayon worker index;
+    /// [`Worklist::push`] derives the shard from the pool worker index;
     /// the loom suite calls this directly (one model thread per shard)
     /// so the model checker can verify the handoff protocol itself.
     ///
@@ -143,7 +143,7 @@ impl Worklist {
     /// chunk planner ([`ipregel_graph::schedule`]) the ordered list its
     /// prefix-weight cut requires. O(active log active).
     pub fn drain_sorted(&self) -> Vec<VertexIndex> {
-        use rayon::prelude::*;
+        use ipregel_par::prelude::*;
         let mut out = self.drain_to_vec();
         self.clear();
         out.par_sort_unstable();
@@ -214,7 +214,7 @@ impl EpochTags {
 #[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
-    use rayon::prelude::*;
+    use ipregel_par::prelude::*;
     use std::collections::{HashMap, HashSet};
 
     #[test]
@@ -252,17 +252,17 @@ mod tests {
     #[test]
     fn fallback_pushes_merge_into_drain_exactly_once() {
         // Regression test for the mutex fallback path: pushes from
-        // threads outside the rayon pool must land in `fallback`, be
+        // threads outside the thread pool must land in `fallback`, be
         // counted by `len`, appear in a drain exactly once alongside the
         // sharded entries, and be removed by `clear`.
         let wl = Worklist::new(64);
-        // The orchestrating (test) thread is not a rayon worker.
-        assert!(rayon::current_thread_index().is_none());
+        // The orchestrating (test) thread is not a pool worker.
+        assert!(ipregel_par::current_thread_index().is_none());
         wl.push(100); // fallback entry #1
         let n_pool: u32 = if cfg!(miri) { 8 } else { 32 };
         // Worker-shard entries from inside the pool.
         (0..n_pool).into_par_iter().for_each(|i| wl.push(i));
-        // A plain OS thread (also not a rayon worker) → fallback #2.
+        // A plain OS thread (also not a pool worker) → fallback #2.
         std::thread::scope(|s| {
             s.spawn(|| wl.push(101));
         });

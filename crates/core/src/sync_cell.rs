@@ -3,7 +3,7 @@
 //! The engines process each active vertex exactly once per superstep, so
 //! per-vertex state (values, halted flags, outboxes) is mutated by at most
 //! one thread at a time even though the slice itself is shared across the
-//! rayon pool. [`SharedSlice`] encodes that contract: it hands out `&mut`
+//! thread pool. [`SharedSlice`] encodes that contract: it hands out `&mut`
 //! references through a shared reference, and the *engine* is responsible
 //! for index disjointness (guaranteed by the worklist's exactly-once
 //! enqueueing or by the scan's distinct indices).
@@ -51,7 +51,7 @@ pub struct SharedSlice<'a, T> {
 }
 
 // SAFETY: access is disjoint by engine contract; T crossing threads
-// requires T: Send. Sync is what lets rayon share the view.
+// requires T: Send. Sync is what lets the pool share the view.
 unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
 // SAFETY: the view owns the unique borrow of the slice for 'a, so
 // moving the view between threads is moving a `&mut [T]`: T: Send.
@@ -171,7 +171,7 @@ impl<T> Drop for SliceRefMut<'_, T> {
 #[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
-    use rayon::prelude::*;
+    use ipregel_par::prelude::*;
 
     #[test]
     fn disjoint_parallel_writes_land() {

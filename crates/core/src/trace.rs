@@ -39,7 +39,7 @@ use std::time::Duration;
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::Mutex;
 
-use crossbeam::utils::CachePadded;
+use ipregel_par::CachePadded;
 
 /// Version of the JSONL trace schema. Bump when an event gains, loses,
 /// or reorders a field; `tests/trace_schema.rs` pins the byte-level
@@ -230,7 +230,7 @@ pub fn ns(d: Duration) -> u64 {
 /// Constructed by the caller (usually the CLI), shared with the engine
 /// through [`crate::RunConfig::trace`] as an `Arc`, and drained with
 /// [`Tracer::take_events`] after the run. All methods are safe under
-/// arbitrary sharing: worker shards are per-thread by rayon index but
+/// arbitrary sharing: worker shards are per-thread by worker index but
 /// guarded by `try_lock`, so a surprising topology degrades to
 /// contention, never to undefined behaviour.
 pub struct Tracer {
@@ -257,10 +257,10 @@ impl Default for Tracer {
 }
 
 impl Tracer {
-    /// A tracer sharded for the current rayon pool (engines running on
+    /// A tracer sharded for the current thread pool (engines running on
     /// their own pool still map in via modulo; see [`Tracer::record`]).
     pub fn new() -> Self {
-        Self::with_shards(rayon::current_num_threads().max(1))
+        Self::with_shards(ipregel_par::current_num_threads().max(1))
     }
 
     /// A tracer with an explicit shard count (exposed for tests).
@@ -287,12 +287,12 @@ impl Tracer {
         self.rss_every = every;
     }
 
-    /// Record one event. Callable from anywhere: rayon workers land in
+    /// Record one event. Callable from anywhere: pool workers land in
     /// their own shard (one uncontended `try_lock`), everything else —
     /// including a worker whose shard is momentarily contended — goes to
     /// the main log.
     pub fn record(&self, event: TraceEvent) {
-        if let Some(i) = rayon::current_thread_index() {
+        if let Some(i) = ipregel_par::current_thread_index() {
             let shard = &self.shards[i % self.shards.len()];
             if let Ok(mut v) = shard.try_lock() {
                 if v.len() < SHARD_CAPACITY {
@@ -314,7 +314,7 @@ impl Tracer {
     /// Record one event directly into the main log, preserving program
     /// order. Orchestrator-side events (run/superstep spans, selection,
     /// checkpoints) use this: the orchestrating closure itself runs on a
-    /// rayon worker when the engine owns its pool, so routing by thread
+    /// pool worker when the engine owns its pool, so routing by thread
     /// index would misfile them into a chunk shard.
     pub fn record_sync(&self, event: TraceEvent) {
         match self.log.lock() {
@@ -341,10 +341,10 @@ impl Tracer {
             log.append(&mut staged);
         }
         if let Some(sampler) = self.rss_sampler {
-            if self.rss_every > 0 && superstep % self.rss_every == 0 {
+            if self.rss_every > 0 && superstep.is_multiple_of(self.rss_every) {
                 if let Some(bytes) = sampler() {
                     // Straight to the log: the barrier runs on the
-                    // orchestrating thread (which has a rayon index when
+                    // orchestrating thread (which has a worker index when
                     // the engine owns its pool), and a shard-routed
                     // sample would only surface at the *next* barrier.
                     self.record_sync(TraceEvent::Rss { superstep: superstep as u64, bytes });
@@ -520,7 +520,7 @@ pub fn encode_event(e: &TraceEvent) -> String {
     s.push_str("{\"type\":\"");
     s.push_str(e.type_name());
     s.push('"');
-    let mut num = |s: &mut String, k: &str, v: u64| {
+    let num = |s: &mut String, k: &str, v: u64| {
         s.push_str(",\"");
         s.push_str(k);
         s.push_str("\":");
@@ -889,7 +889,7 @@ pub fn render_prometheus(events: &[TraceEvent], dropped: u64) -> String {
     }
     let secs = |ns: u64| ns as f64 / 1e9;
     let mut out = String::new();
-    let mut counter = |out: &mut String, name: &str, help: &str, value: String| {
+    let counter = |out: &mut String, name: &str, help: &str, value: String| {
         out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
     };
     counter(&mut out, "ipregel_supersteps_total", "Supersteps completed.", supersteps.to_string());
@@ -1010,12 +1010,12 @@ mod tests {
     #[test]
     fn barrier_orders_worker_chunks_before_superstep_end() {
         let t = Tracer::with_shards(2);
-        // No rayon worker index on the test thread, so record() lands in
+        // No pool worker index on the test thread, so record() lands in
         // the log; exercise the shard path via a tiny pool instead.
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let pool = ipregel_par::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
         t.record_sync(TraceEvent::SuperstepBegin { superstep: 0 });
         pool.install(|| {
-            rayon::join(
+            ipregel_par::join(
                 || {
                     t.record(TraceEvent::Chunk {
                         superstep: 0,
@@ -1117,7 +1117,7 @@ mod tests {
     #[test]
     fn shard_bound_counts_drops() {
         let t = Tracer::with_shards(1);
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = ipregel_par::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         pool.install(|| {
             for i in 0..(super::SHARD_CAPACITY + 10) {
                 t.record(TraceEvent::SuperstepBegin { superstep: i as u64 });

@@ -13,13 +13,13 @@
 //! protocol the engines rely on:
 //!
 //! 1. spinlock mutual exclusion + release/acquire visibility;
-//! 2–4. the mailbox empty→occupied transition for each implementation —
-//!      exactly one deliverer observes "was empty", which is what makes
-//!      the §4 selection bypass enqueue exactly once;
+//! 2. –4. the mailbox empty→occupied transition for each implementation
+//!    — exactly one deliverer observes "was empty", which is what makes
+//!    the §4 selection bypass enqueue exactly once;
 //! 5. lock-free combining never loses a delivery (CAS retry loop);
-//! 6–7. worklist shard handoff: worker-exclusive pushes during the
-//!      parallel region become orchestrator-exclusive reads after join
-//!      (the superstep barrier), plus the mutex fallback path.
+//! 6. –7. worklist shard handoff: worker-exclusive pushes during the
+//!    parallel region become orchestrator-exclusive reads after join
+//!    (the superstep barrier), plus the mutex fallback path.
 //!
 //! Keep each model at 2–3 threads: loom's state space is exponential in
 //! preemption points, and these protocols show all their behaviours
@@ -164,7 +164,7 @@ fn worklist_shard_handoff_across_barrier() {
     });
 }
 
-/// Model 7: the mutex fallback path (pushes from outside the rayon
+/// Model 7: the mutex fallback path (pushes from outside the worker
 /// pool). Two non-worker threads race on the fallback mutex; both
 /// entries must merge into the drain exactly once.
 #[test]
@@ -173,7 +173,7 @@ fn worklist_fallback_merges_exactly_once() {
         let wl = Arc::new(Worklist::with_shards(4, 1));
         let h = {
             let wl = Arc::clone(&wl);
-            // Loom threads are not rayon workers, so `push` takes the
+            // Loom threads are not pool workers, so `push` takes the
             // fallback mutex in both threads.
             thread::spawn(move || wl.push(7))
         };

@@ -3,7 +3,7 @@
 use ipregel::mailbox::{AtomicMailbox, Mailbox, MutexMailbox, PackMessage, SpinMailbox};
 use ipregel::selection::{EpochTags, Worklist};
 use proptest::prelude::*;
-use rayon::prelude::*;
+use ipregel_par::prelude::*;
 
 fn min32(old: &mut u32, new: u32) {
     if new < *old {

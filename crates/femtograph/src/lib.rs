@@ -35,7 +35,7 @@ use ipregel::program::{Context, MasterDecision, VertexProgram};
 use ipregel::sync_cell::SharedSlice;
 use ipregel_graph::csr::Weight;
 use ipregel_graph::{Graph, HashAddressMap, VertexId, VertexIndex};
-use rayon::prelude::*;
+use ipregel_par::prelude::*;
 
 /// Run `program` on `graph` with the naive engine.
 ///
@@ -50,10 +50,10 @@ pub fn run_naive<P: VertexProgram>(
     assert!(graph.has_out_edges(), "the naive engine routes sends through out-adjacency");
     match config.threads {
         None => run_naive_inner(graph, program, config),
-        Some(t) => rayon::ThreadPoolBuilder::new()
+        Some(t) => ipregel_par::ThreadPoolBuilder::new()
             .num_threads(t.max(1))
             .build()
-            .expect("failed to build rayon pool")
+            .expect("failed to build thread pool")
             .install(|| run_naive_inner(graph, program, config)),
     }
 }
@@ -132,7 +132,7 @@ fn run_naive_inner<P: VertexProgram>(
             // The naive engine's full scan is fused with compute; its
             // selection cost is part of `duration`, not separable.
             selection_duration: std::time::Duration::ZERO,
-            // No chunked scheduling here — rayon splits adaptively, so
+            // No chunked scheduling here — the par-iter plan splits on its own, so
             // there is no per-chunk plan to account.
             load: None,
         });

@@ -6,8 +6,7 @@
 //! an independent check that the framework's behaviour on the R-MAT
 //! analogs is about skew, not about R-MAT specifically.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::{RngExt, SeedableRng, StdRng};
 
 /// Undirected preferential-attachment edges over `0..n` with `m`
 /// attachments per new vertex (each edge returned once).

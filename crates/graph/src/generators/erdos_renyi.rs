@@ -3,8 +3,7 @@
 //! Used by the test suite and the selection-bypass ablation as a
 //! degree-homogeneous counterpoint to R-MAT's skew.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::{RngExt, SeedableRng, StdRng};
 
 /// `m` uniform directed edges over vertices `0..n` (self-loops allowed,
 /// parallel edges allowed — the builder stores graphs verbatim).

@@ -14,8 +14,7 @@
 //! * every kept undirected edge becomes two weighted arcs, as in the
 //!   DIMACS distance graphs.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::{RngExt, SeedableRng, StdRng};
 
 /// Weighted arcs of a `rows × cols` road-like grid over 0-based vertices
 /// (`vertex = r * cols + c`), with average out-degree ≈ `target_out_degree`

@@ -6,8 +6,7 @@
 //! of web and social graphs — the regime of the paper's Wikipedia and
 //! Twitter datasets.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::{RngExt, SeedableRng, StdRng};
 
 /// Quadrant probabilities of the recursive matrix.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -5,15 +5,14 @@
 //! selection-bypass ablation uses it to sweep *diameter at fixed degree*
 //! — the exact axis the paper's Wikipedia-vs-USA contrast varies.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::{RngExt, SeedableRng, StdRng};
 
 /// Undirected small-world edges (each returned once; symmetrise for a
 /// directed graph) over vertices `0..n`, each connected to `k` nearest
 /// ring neighbours, rewired with probability `beta`.
 pub fn watts_strogatz_edges(n: u32, k: u32, beta: f64, seed: u64) -> Vec<(u32, u32)> {
     assert!(n >= 3, "ring needs at least 3 vertices");
-    assert!(k >= 2 && k % 2 == 0, "k must be even and ≥ 2");
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and ≥ 2");
     assert!(u64::from(k) < u64::from(n), "k must be < n");
     assert!((0.0..=1.0).contains(&beta), "beta is a probability");
     let mut rng = StdRng::seed_from_u64(seed);

@@ -37,6 +37,7 @@ pub mod generators;
 pub mod ids;
 pub mod loaders;
 pub mod partition;
+pub mod rng;
 pub mod schedule;
 pub mod stats;
 pub mod transform;

@@ -26,8 +26,7 @@
 
 use std::io::{Read, Write};
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
+use super::wire::{GetLe, PutLe};
 use crate::builder::{GraphBuilder, NeighborMode};
 use crate::checksum::Fnv64;
 use crate::csr::Graph;
@@ -60,7 +59,7 @@ pub fn write_binary<W: Write>(
         }
     }
     let mut hash = Fnv64::new();
-    let mut buf = BytesMut::with_capacity(28);
+    let mut buf = Vec::with_capacity(28);
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u32_le(if weights.is_some() { FLAG_WEIGHTED } else { 0 });
@@ -70,7 +69,7 @@ pub fn write_binary<W: Write>(
     hash.update(&buf);
     w.write_all(&buf)?;
     // Stream edges in chunks to bound peak memory on billion-edge graphs.
-    let mut chunk = BytesMut::with_capacity(CHUNK);
+    let mut chunk = Vec::with_capacity(CHUNK);
     for &(s, d) in edges {
         chunk.put_u32_le(s);
         chunk.put_u32_le(d);
@@ -109,7 +108,7 @@ pub fn write_binary<W: Write>(
 pub fn read_binary<R: Read>(mut r: R, mode: NeighborMode) -> Result<Graph, GraphError> {
     let mut header = [0u8; 28];
     r.read_exact(&mut header).map_err(|_| GraphError::BadBinary("truncated header".into()))?;
-    let mut h = Bytes::copy_from_slice(&header);
+    let mut h = &header[..];
     let mut magic = [0u8; 4];
     h.copy_to_slice(&mut magic);
     if &magic != MAGIC {

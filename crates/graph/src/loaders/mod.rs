@@ -14,6 +14,7 @@ pub mod dimacs;
 pub mod edge_list;
 pub mod konect;
 pub mod matrix_market;
+pub mod wire;
 pub mod writers;
 
 pub use binary::{read_binary, write_binary};

@@ -1,0 +1,86 @@
+//! Little-endian wire-format helpers for the binary loaders, replacing
+//! the `bytes` crate's `Buf`/`BufMut` pair with the handful of methods
+//! the `IPGB` codec uses.
+//!
+//! [`PutLe`] appends to a `Vec<u8>`; [`GetLe`] consumes from the front
+//! of a `&[u8]` by advancing the slice itself (`let mut b = &buf[..];
+//! b.get_u32_le()`), the same calling convention `bytes::Buf` gave the
+//! reader loops. Reads past the end panic — callers bound their loops
+//! by `len()` first, as the codec always did.
+
+/// Append little-endian values to a growable byte buffer.
+pub trait PutLe {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append a `u32`, little-endian.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a `u64`, little-endian.
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl PutLe for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Consume little-endian values from the front of a byte slice.
+pub trait GetLe {
+    /// Read a `u32` and advance.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read a `u64` and advance.
+    fn get_u64_le(&mut self) -> u64;
+    /// Fill `dst` and advance.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+impl GetLe for &[u8] {
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, tail) = self.split_at(4);
+        *self = tail;
+        u32::from_le_bytes(head.try_into().expect("4-byte split"))
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, tail) = self.split_at(8);
+        *self = tail;
+        u64::from_le_bytes(head.try_into().expect("8-byte split"))
+    }
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, tail) = self.split_at(dst.len());
+        *self = tail;
+        dst.copy_from_slice(head);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_get_round_trip() {
+        let mut buf = Vec::new();
+        buf.put_slice(b"IPGB");
+        buf.put_u32_le(0xdead_beef);
+        buf.put_u64_le(0x0123_4567_89ab_cdef);
+        let mut r = &buf[..];
+        let mut magic = [0u8; 4];
+        r.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"IPGB");
+        assert_eq!(r.get_u32_le(), 0xdead_beef);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89ab_cdef);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_reads_panic() {
+        let mut r: &[u8] = &[1, 2];
+        let _ = r.get_u32_le();
+    }
+}

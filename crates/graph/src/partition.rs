@@ -107,8 +107,8 @@ mod tests {
         let p = Partitioning::hash(&g, 3);
         for slot in g.address_map().live_slots() {
             let id = g.id_of(slot);
-            assert_eq!(p.owner_of(slot), (id % 3) as u32);
-            assert_eq!(p.hash_owner_of_id(id), (id % 3) as u32);
+            assert_eq!(p.owner_of(slot), id % 3);
+            assert_eq!(p.hash_owner_of_id(id), id % 3);
         }
     }
 

@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use rayon::prelude::*;
+use ipregel_par::prelude::*;
 
 use crate::csr::Graph;
 
@@ -89,7 +89,7 @@ pub fn group_digits(n: u64) -> String {
     let bytes = s.as_bytes();
     let mut out = String::with_capacity(s.len() + s.len() / 3);
     for (i, b) in bytes.iter().enumerate() {
-        if i > 0 && (bytes.len() - i) % 3 == 0 {
+        if i > 0 && (bytes.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(*b as char);

@@ -38,20 +38,21 @@ use ipregel::sync_cell::SharedSlice;
 use ipregel::trace::{self, TraceEvent};
 use ipregel_graph::csr::Weight;
 use ipregel_graph::{AddressMap, Graph, VertexId, VertexIndex};
-use rayon::prelude::*;
-use serde::Serialize;
+use ipregel_par::prelude::*;
 
 /// Bounded retry for transient edge-stream read failures
 /// (`Interrupted` / `WouldBlock` / `TimedOut`): each failed attempt
 /// sleeps `base_backoff × 2^(attempt-1)` before re-seeking, and after
 /// `max_attempts` total attempts the error propagates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Total read attempts before the error propagates (≥ 1).
     pub max_attempts: u32,
     /// Backoff before the first retry; doubles on each further retry.
     pub base_backoff: Duration,
 }
+
+ipregel::impl_to_json!(RetryPolicy { max_attempts, base_backoff });
 
 impl Default for RetryPolicy {
     fn default() -> Self {
@@ -60,7 +61,7 @@ impl Default for RetryPolicy {
 }
 
 /// Disk performance constants used to price the observed IO pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiskModel {
     /// Sequential read throughput, bytes/second (SATA-SSD-class default,
     /// 500 MB/s — the hardware tier of the paper's era).
@@ -71,6 +72,8 @@ pub struct DiskModel {
     /// re-seeks, so it is priced as an extra seek in the model.
     pub retry: RetryPolicy,
 }
+
+ipregel::impl_to_json!(DiskModel { read_bandwidth, seek_latency, retry });
 
 impl Default for DiskModel {
     fn default() -> Self {
@@ -83,7 +86,7 @@ impl Default for DiskModel {
 }
 
 /// Per-superstep IO observation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IoTrace {
     /// Superstep number.
     pub superstep: usize,
@@ -97,6 +100,8 @@ pub struct IoTrace {
     /// Modelled disk seconds for this superstep.
     pub disk_seconds: f64,
 }
+
+ipregel::impl_to_json!(IoTrace { superstep, bytes_read, seeks, retries, disk_seconds });
 
 /// Result of an out-of-core run: the usual [`RunOutput`] plus IO
 /// accounting and the modelled total (compute measured + disk modelled).
@@ -278,15 +283,19 @@ impl Drop for OocGraph {
     }
 }
 
+/// A coalesced sequential read: `(file_offset, byte_len)`.
+type ReadRun = (u64, u64);
+/// An active vertex's slice of a run: `(run_index, offset_in_run, degree)`.
+type VertexSlice = (u32, u32, u32);
+
 /// Coalesce the active vertices' adjacency ranges into sequential read
 /// runs (gap below `gap_threshold` bytes → one run), returning
-/// `(file_offset, byte_len)` runs plus, per active vertex, its slice
-/// `(run_index, offset_in_run, degree)`.
+/// [`ReadRun`]s plus one [`VertexSlice`] per active vertex.
 fn plan_reads(
     ooc: &OocGraph,
     active: &[VertexIndex],
     gap_threshold: u64,
-) -> (Vec<(u64, u64)>, Vec<(u32, u32, u32)>) {
+) -> (Vec<ReadRun>, Vec<VertexSlice>) {
     let mut runs: Vec<(u64, u64)> = Vec::new();
     let mut slices = Vec::with_capacity(active.len());
     for &v in active {
@@ -392,7 +401,7 @@ pub fn run_ooc<P: VertexProgram>(
     trace::emit_sync(tracer, || TraceEvent::RunBegin {
         engine: trace::EngineKind::Ooc,
         slots: slots as u64,
-        threads: rayon::current_num_threads() as u64,
+        threads: ipregel_par::current_num_threads() as u64,
     });
 
     loop {

@@ -9,10 +9,9 @@
 //! paper-scale projections.
 
 use ipregel::FootprintReport;
-use serde::Serialize;
 
 /// One measured point: a graph size and the engine's byte accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeasuredPoint {
     /// Number of vertices.
     pub vertices: u64,
@@ -22,8 +21,10 @@ pub struct MeasuredPoint {
     pub footprint: FootprintReport,
 }
 
+ipregel::impl_to_json!(MeasuredPoint { vertices, edges, footprint });
+
 /// Affine fit `bytes ≈ per_vertex·V + per_edge·E + base`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FitReport {
     /// Fitted bytes per vertex.
     pub per_vertex: f64,
@@ -34,6 +35,8 @@ pub struct FitReport {
     /// Maximum relative residual of any point under the fit.
     pub max_rel_residual: f64,
 }
+
+ipregel::impl_to_json!(FitReport { per_vertex, per_edge, base, max_rel_residual });
 
 /// Least-squares fit of total bytes against (V, E, 1).
 ///

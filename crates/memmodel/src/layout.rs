@@ -15,10 +15,9 @@
 //! pull combiner's in-neighbours.
 
 use ipregel::{CombinerKind, Version};
-use serde::Serialize;
 
 /// Application-dependent sizes feeding the layout model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LayoutModel {
     /// Bytes of the user's vertex value (8 for PageRank's double, 4 for
     /// Hashmin/SSSP distances).
@@ -27,8 +26,10 @@ pub struct LayoutModel {
     pub message_bytes: usize,
 }
 
+ipregel::impl_to_json!(LayoutModel { value_bytes, message_bytes });
+
 /// The modelled footprint of one iPregel version on one graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VersionFootprint {
     /// Bytes of per-vertex structs.
     pub vertex_bytes: u64,
@@ -39,6 +40,8 @@ pub struct VersionFootprint {
     /// Of `vertex_bytes`: selection-bypass worklist share.
     pub worklist_bytes: u64,
 }
+
+ipregel::impl_to_json!(VersionFootprint { vertex_bytes, edge_bytes, lock_bytes, worklist_bytes });
 
 impl VersionFootprint {
     /// Total bytes.

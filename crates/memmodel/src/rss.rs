@@ -19,18 +19,19 @@
 //! * 14.4 GB for Friendster     (paper: 14.45 GB);
 //! * an ≈ 8 GB graph-binary share for Twitter (paper: 8 GB).
 
-use serde::Serialize;
 
 use crate::GB;
 
 /// The calibrated RSS model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RssModel {
     /// Per-vertex framework overhead, bytes (calibrated: 52).
     pub per_vertex: f64,
     /// Process/base footprint, bytes.
     pub base: f64,
 }
+
+ipregel::impl_to_json!(RssModel { per_vertex, base });
 
 impl Default for RssModel {
     fn default() -> Self {

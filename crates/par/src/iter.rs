@@ -1,0 +1,577 @@
+//! Mini parallel iterators over the in-tree pool.
+//!
+//! This is an *indexed-evaluation* model, deliberately simpler than
+//! rayon's producer/consumer architecture: every iterator knows its
+//! length and can evaluate position `i` independently
+//! (`eval(i) -> Option<Item>`, where `None` means "filtered out").
+//! Consumers split `0..len` into a fixed, deterministic chunk plan —
+//! `min(len, current_num_threads × 4)` contiguous chunks — spawn one
+//! scope task per chunk, evaluate each chunk sequentially on a pool
+//! worker, and combine the per-chunk partial results **sequentially in
+//! chunk order** on the calling thread.
+//!
+//! Two consequences the rest of the workspace relies on:
+//!
+//! - **Worker-index routing holds.** Chunk bodies always run on pool
+//!   workers (never inline on a non-worker caller), so
+//!   `current_thread_index()` is `Some(_)` inside `for_each`/`map`
+//!   closures and the sharded `Worklist`/`Tracer` paths stay on their
+//!   lock-free lanes, exactly as under rayon.
+//! - **Determinism is *stronger* than rayon's.** For a fixed thread
+//!   count the chunk plan is fixed and reduction order is chunk order,
+//!   so even non-associative combines (f64 sums) are reproducible
+//!   run-to-run — rayon's adaptive splitting does not guarantee that.
+//!
+//! Only the adapter/consumer surface the workspace actually uses is
+//! implemented: `map`, `filter`, `enumerate`, `zip`, `for_each`,
+//! `collect::<Vec<_>>`, `sum`, `count`, `reduce`, `reduce_with`, plus
+//! `par_sort_unstable` on slices. `enumerate`/`zip` are index-based and
+//! must sit *before* any `filter` (rayon encodes the same restriction
+//! through its `IndexedParallelIterator` trait; here it is documented
+//! instead of typed).
+
+use crate::pool;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// Chunks per worker thread; matches the engine chunk planner's
+/// oversubscription factor so one `scope` task maps to one plan chunk.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// The deterministic chunk plan for a consumer over `len` items.
+fn chunk_bounds(len: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = len.min(pool::current_num_threads().max(1) * CHUNKS_PER_THREAD);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut bounds = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for ci in 0..chunks {
+        let size = base + usize::from(ci < extra);
+        bounds.push(start..start + size);
+        start += size;
+    }
+    bounds
+}
+
+/// Evaluate `run` over every chunk on pool workers; return the partial
+/// results **in chunk order**. Panics in a chunk propagate to the
+/// caller after all sibling chunks drained (scope semantics).
+fn drive<R, F>(len: usize, run: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let bounds = chunk_bounds(len);
+    if bounds.is_empty() {
+        return Vec::new();
+    }
+    let slots: Vec<Mutex<Option<R>>> = bounds.iter().map(|_| Mutex::new(None)).collect();
+    {
+        let run = &run;
+        let slots = &slots;
+        pool::scope(|s| {
+            for (ci, range) in bounds.into_iter().enumerate() {
+                s.spawn(move |_| {
+                    *slots[ci].lock().expect("chunk slot poisoned") = Some(run(range));
+                });
+            }
+        });
+    }
+    slots.into_iter()
+        .map(|m| {
+            m.into_inner().expect("chunk slot poisoned").expect("scope waited for every chunk")
+        })
+        .collect()
+}
+
+/// A parallel iterator: an indexed sequence evaluated on pool workers.
+///
+/// `eval(i)` must be pure enough to run concurrently from many threads
+/// (`&self`, `Sync`); `None` marks a position removed by `filter`.
+pub trait ParallelIterator: Sized + Send + Sync {
+    /// The produced item type.
+    type Item: Send;
+
+    /// Number of indexable positions (pre-`filter`).
+    fn len(&self) -> usize;
+
+    /// Evaluate position `i`; `None` if filtered out.
+    fn eval(&self, i: usize) -> Option<Self::Item>;
+
+    /// True when the sequence has no positions.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Transform each item.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keep items satisfying `pred` (called with `&Item`, as in rayon).
+    fn filter<P>(self, pred: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { base: self, pred }
+    }
+
+    /// Pair each item with its index. Index-based: apply before any
+    /// `filter`, never after (see the module docs).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Pair items positionally with another sequence (length = the
+    /// shorter of the two). Index-based, like `enumerate`.
+    fn zip<B>(self, other: B) -> Zip<Self, B::Iter>
+    where
+        B: IntoParallelIterator,
+    {
+        Zip { a: self, b: other.into_par_iter() }
+    }
+
+    /// Run `f` on every item, in parallel over the chunk plan.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        drive(self.len(), |r| {
+            for i in r {
+                if let Some(item) = self.eval(i) {
+                    f(item);
+                }
+            }
+        });
+    }
+
+    /// Collect into a container (order-preserving).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sum the items. Chunk partials are combined in chunk order, so the
+    /// result is deterministic for a fixed thread count even for floats.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        drive(self.len(), |r| r.filter_map(|i| self.eval(i)).sum::<S>()).into_iter().sum()
+    }
+
+    /// Count the surviving items.
+    fn count(self) -> usize {
+        drive(self.len(), |r| r.filter_map(|i| self.eval(i)).count()).into_iter().sum()
+    }
+
+    /// Fold all items with `op`, seeding every chunk from `identity`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        drive(self.len(), |r| r.filter_map(|i| self.eval(i)).fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), &op)
+    }
+
+    /// Fold all items with `op`; `None` when everything was filtered.
+    fn reduce_with<OP>(self, op: OP) -> Option<Self::Item>
+    where
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        drive(self.len(), |r| r.filter_map(|i| self.eval(i)).reduce(&op))
+            .into_iter()
+            .flatten()
+            .reduce(&op)
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] (mirrors rayon's trait).
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The produced item type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: ParallelIterator> IntoParallelIterator for I {
+    type Iter = I;
+    type Item = I::Item;
+    fn into_par_iter(self) -> I {
+        self
+    }
+}
+
+/// `par_iter()` by shared reference (mirrors rayon's blanket scheme).
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The produced item type.
+    type Item: Send + 'a;
+    /// Iterate the borrowed contents in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+{
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+    type Item = <&'a C as IntoParallelIterator>::Item;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn eval(&self, i: usize) -> Option<&'a T> {
+        Some(&self.slice[i])
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self.as_slice() }
+    }
+}
+
+/// Integer types usable as parallel range endpoints.
+pub trait RangeInteger: Copy + Send + Sync {
+    /// `max(end - start, 0)` as a usize.
+    fn span(start: Self, end: Self) -> usize;
+    /// `start + i`.
+    fn offset(start: Self, i: usize) -> Self;
+}
+
+macro_rules! range_integer {
+    ($($t:ty),*) => {$(
+        impl RangeInteger for $t {
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            fn span(start: Self, end: Self) -> usize {
+                if end > start { (end - start) as usize } else { 0 }
+            }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn offset(start: Self, i: usize) -> Self {
+                start + i as $t
+            }
+        }
+    )*};
+}
+
+range_integer!(u16, u32, u64, usize, i32, i64);
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T: RangeInteger> {
+    start: T,
+    len: usize,
+}
+
+impl<T: RangeInteger> ParallelIterator for RangeIter<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn eval(&self, i: usize) -> Option<T> {
+        Some(T::offset(self.start, i))
+    }
+}
+
+impl<T: RangeInteger> IntoParallelIterator for Range<T> {
+    type Iter = RangeIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> RangeIter<T> {
+        RangeIter { start: self.start, len: T::span(self.start, self.end) }
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn eval(&self, i: usize) -> Option<R> {
+        self.base.eval(i).map(&self.f)
+    }
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<I, P> {
+    base: I,
+    pred: P,
+}
+
+impl<I, P> ParallelIterator for Filter<I, P>
+where
+    I: ParallelIterator,
+    P: Fn(&I::Item) -> bool + Sync + Send,
+{
+    type Item = I::Item;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn eval(&self, i: usize) -> Option<I::Item> {
+        self.base.eval(i).filter(|item| (self.pred)(item))
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn eval(&self, i: usize) -> Option<(usize, I::Item)> {
+        self.base.eval(i).map(|item| (i, item))
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn eval(&self, i: usize) -> Option<(A::Item, B::Item)> {
+        match (self.a.eval(i), self.b.eval(i)) {
+            (Some(a), Some(b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+/// Collection from a parallel iterator (mirrors rayon's trait).
+pub trait FromParallelIterator<T: Send> {
+    /// Build the collection, preserving sequence order.
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: IntoParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: IntoParallelIterator<Item = T>,
+    {
+        let iter = iter.into_par_iter();
+        let parts = drive(iter.len(), |r| {
+            r.filter_map(|i| iter.eval(i)).collect::<Vec<T>>()
+        });
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+/// `par_sort_unstable` on mutable slices (the one `ParallelSliceMut`
+/// method the workspace uses).
+pub trait ParallelSliceMut<T: Send> {
+    /// Sort in parallel: chunk-local `sort_unstable` on pool workers,
+    /// then a sequential k-way merge on the caller. `Copy` is required
+    /// by the merge's scratch copy; the only call sites sort `u32`
+    /// vertex lists.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord + Copy + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord + Copy + Sync,
+    {
+        let bounds = chunk_bounds(self.len());
+        if bounds.len() <= 1 {
+            self.sort_unstable();
+            return;
+        }
+        // Sort each chunk in place, in parallel. The chunks borrow
+        // disjoint regions via split_at_mut, so no unsafe is needed.
+        {
+            let mut rest: &mut [T] = self;
+            let mut pieces: Vec<&mut [T]> = Vec::with_capacity(bounds.len());
+            for r in &bounds {
+                let (head, tail) = rest.split_at_mut(r.len());
+                pieces.push(head);
+                rest = tail;
+            }
+            pool::scope(|s| {
+                for piece in pieces {
+                    s.spawn(move |_| piece.sort_unstable());
+                }
+            });
+        }
+        // Sequential k-way merge of the sorted runs through a scratch
+        // buffer; k is at most threads×4, so a linear scan per output
+        // element is fine for the list sizes involved.
+        let mut scratch: Vec<T> = Vec::with_capacity(self.len());
+        let mut cursors: Vec<usize> = bounds.iter().map(|r| r.start).collect();
+        for _ in 0..self.len() {
+            let mut best: Option<(usize, T)> = None;
+            for (k, r) in bounds.iter().enumerate() {
+                if cursors[k] < r.end {
+                    let v = self[cursors[k]];
+                    if best.is_none_or(|(_, b)| v < b) {
+                        best = Some((k, v));
+                    }
+                }
+            }
+            let (k, v) = best.expect("cursor accounting covers every element");
+            cursors[k] += 1;
+            scratch.push(v);
+        }
+        self.copy_from_slice(&scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_map_collect_preserves_order() {
+        let xs: Vec<u32> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| u64::from(x) * 2).collect();
+        assert_eq!(doubled.len(), 10_000);
+        assert!(doubled.iter().enumerate().all(|(i, &v)| v == i as u64 * 2));
+    }
+
+    #[test]
+    fn range_filter_collect_preserves_order() {
+        let odd: Vec<u32> = (0u32..1000).into_par_iter().filter(|&v| v % 2 == 1).collect();
+        let expect: Vec<u32> = (0..1000).filter(|v| v % 2 == 1).collect();
+        assert_eq!(odd, expect);
+    }
+
+    #[test]
+    fn enumerate_indices_match_positions() {
+        let xs = vec![10u32, 20, 30, 40];
+        let pairs: Vec<(usize, u32)> = xs.par_iter().enumerate().map(|(i, &v)| (i, v)).collect();
+        assert_eq!(pairs, vec![(0, 10), (1, 20), (2, 30), (3, 40)]);
+    }
+
+    #[test]
+    fn zip_pairs_positionally_and_truncates() {
+        let a = vec![1u32, 2, 3];
+        let b = vec![10u32, 20, 30, 40];
+        let sum: u32 = a.par_iter().zip(b.par_iter()).map(|(&x, &y)| x + y).sum();
+        assert_eq!(sum, 11 + 22 + 33);
+    }
+
+    #[test]
+    fn sum_count_reduce_agree_with_sequential() {
+        let xs: Vec<u64> = (0..5000).collect();
+        let s: u64 = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 4999 * 5000 / 2);
+        assert_eq!(xs.par_iter().filter(|&&x| x % 7 == 0).count(), xs.len().div_ceil(7));
+        let max = (0u64..5000)
+            .into_par_iter()
+            .map(|v| (v, 1u64))
+            .reduce(|| (0, 0), |a, b| (a.0.max(b.0), a.1 + b.1));
+        assert_eq!(max, (4999, 5000));
+        assert_eq!(xs.par_iter().map(|&x| x).reduce_with(u64::max), Some(4999));
+        let none: Option<u64> =
+            xs.par_iter().map(|&x| x).filter(|_| false).reduce_with(u64::max);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn for_each_runs_on_workers_with_indices() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let on_worker = AtomicUsize::new(0);
+        let total = 1000usize;
+        (0..total).into_par_iter().for_each(|_| {
+            if pool::current_thread_index().is_some() {
+                on_worker.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(on_worker.load(Ordering::Relaxed), total, "no chunk ran off-pool");
+    }
+
+    #[test]
+    fn par_sort_unstable_sorts() {
+        let mut xs: Vec<u32> = (0..10_000u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        let mut expect = xs.clone();
+        expect.sort_unstable();
+        xs.par_sort_unstable();
+        assert_eq!(xs, expect);
+        let mut small = vec![3u32, 1, 2];
+        small.par_sort_unstable();
+        assert_eq!(small, vec![1, 2, 3]);
+        let mut empty: Vec<u32> = Vec::new();
+        empty.par_sort_unstable();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn float_sum_is_deterministic_across_runs() {
+        let xs: Vec<f64> = (0..4096).map(|i| 1.0 / f64::from(i + 1)).collect();
+        let first: f64 = xs.par_iter().map(|&x| x).sum();
+        for _ in 0..8 {
+            let again: f64 = xs.par_iter().map(|&x| x).sum();
+            assert_eq!(first.to_bits(), again.to_bits(), "chunk-ordered combine");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let xs: Vec<u32> = Vec::new();
+        let out: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let s: u32 = (0u32..0).into_par_iter().sum();
+        assert_eq!(s, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! `ipregel-par` — the workspace's parallel runtime facade.
+//!
+//! Every crate in the workspace gets its parallelism from here instead
+//! of depending on rayon directly. Two interchangeable backends sit
+//! behind the same API (see docs/INTERNALS.md, "Parallel runtime"):
+//!
+//! - **`std-pool`** (default): the in-tree, zero-dependency scoped
+//!   thread pool in [`pool`] plus the indexed mini parallel iterators in
+//!   [`iter`]. Builds with `--offline` against an empty registry — this
+//!   is what makes the workspace hermetic — and its chunk-ordered
+//!   reductions are deterministic for a fixed thread count.
+//! - **`rayon`**: maps the identical surface onto the real rayon crate.
+//!   The feature is a plain cfg switch with *no* cargo dependency (any
+//!   registry reference breaks `--offline` resolution); networked
+//!   builds inject the crate with
+//!   `RUSTFLAGS="--extern rayon=… -L dependency=…"`. Used by the CI
+//!   `rayon-equivalence` job to check both backends produce
+//!   bit-identical engine results on the golden fixtures.
+//!
+//! The facade surface is exactly what the workspace uses — nothing
+//! speculative: `current_num_threads`, `current_thread_index`, `join`,
+//! `scope`, `ThreadPool{Builder}` with `install`, the `prelude` with
+//! `par_iter`/`into_par_iter`/`par_sort_unstable` and the
+//! map/filter/enumerate/zip/for_each/collect/sum/count/reduce family.
+//! [`CachePadded`] (the crossbeam replacement) is always in-tree,
+//! independent of the backend.
+//!
+//! # Worker-index contract
+//!
+//! The load-bearing guarantee, relied on by the sharded `Tracer` and
+//! `Worklist`: inside any closure run by this crate (scope tasks,
+//! `install`, parallel-iterator bodies), [`current_thread_index`]
+//! returns `Some(i)` with `i < current_num_threads()`, stable for the
+//! closure's whole execution and unique per concurrent worker. Off-pool
+//! threads get `None` and must take the callers' documented fallback
+//! paths. Both backends honor this; `tests/pool.rs` pins it.
+
+#[cfg(not(any(feature = "std-pool", feature = "rayon")))]
+compile_error!(
+    "ipregel-par needs a backend: enable the default `std-pool` feature \
+     (hermetic, in-tree) or `rayon` (requires an externally supplied rayon \
+     rlib via RUSTFLAGS --extern; see docs/INTERNALS.md)"
+);
+
+mod padded;
+pub use padded::CachePadded;
+
+// When both features are on (e.g. `--all-features`), rayon wins: the
+// point of the switch is comparing the real thing against the in-tree
+// pool, so "rayon requested" must mean rayon delivered.
+#[cfg(not(feature = "rayon"))]
+mod pool;
+#[cfg(not(feature = "rayon"))]
+pub mod iter;
+
+#[cfg(not(feature = "rayon"))]
+pub use pool::{
+    current_num_threads, current_thread_index, join, scope, Scope, ThreadPool,
+    ThreadPoolBuildError, ThreadPoolBuilder,
+};
+
+/// The traits that make `par_iter()` / `into_par_iter()` /
+/// `par_sort_unstable()` available — import as `use
+/// ipregel_par::prelude::*;` exactly like rayon's.
+#[cfg(not(feature = "rayon"))]
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(feature = "rayon")]
+pub use rayon::{
+    current_num_threads, current_thread_index, join, scope, Scope, ThreadPool,
+    ThreadPoolBuildError, ThreadPoolBuilder,
+};
+
+/// Rayon-backed prelude: the real thing, same import path.
+#[cfg(feature = "rayon")]
+pub mod prelude {
+    pub use rayon::prelude::*;
+}

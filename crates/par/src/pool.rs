@@ -1,0 +1,628 @@
+//! The in-tree scoped thread pool.
+//!
+//! One [`PoolInner`] owns a set of worker OS threads and a single shared
+//! FIFO injector queue. Workers carry a stable index `0..num_threads`
+//! published through a thread-local, which is the contract the sharded
+//! [`Tracer`](../../core/src/trace.rs) and `Worklist::with_shards`
+//! depend on: *while a closure runs on worker `i`,
+//! [`current_thread_index`] returns `Some(i)`, indices are unique within
+//! the pool, and they never change for the lifetime of the pool.*
+//!
+//! # Scopes and panics
+//!
+//! [`scope`] collects tasks spawned via [`Scope::spawn`] and does not
+//! return until every one of them has completed. Each task runs under
+//! `catch_unwind`; the first captured payload is resumed on the caller
+//! once the scope is complete, so a panicking task never takes a worker
+//! thread down — the pool survives and sibling tasks drain normally.
+//! This is what lets the engines' chunk-level `catch_unwind` isolation
+//! (`RunError::VertexPanic`) keep working unchanged on the in-tree pool:
+//! the engines catch inside the task, so the pool-level capture is a
+//! second line of defence, not the primary mechanism.
+//!
+//! # Nested scopes: supported
+//!
+//! A worker that blocks in [`scope`] (or [`join`]) *helps*: it executes
+//! queued tasks while it waits. Nested `scope` calls from inside a task
+//! therefore cannot deadlock, even on a one-thread pool — the blocked
+//! worker drains its own nested tasks. Non-worker threads never execute
+//! tasks (their `current_thread_index` is `None`, so executing engine
+//! work there would bypass the worker-shard routing); they park on the
+//! scope's latch instead.
+//!
+//! # Safety model
+//!
+//! The only `unsafe` in this crate is lifetime erasure of scoped task
+//! closures (and of the closure passed to [`ThreadPool::install`]): a
+//! `Box<dyn FnOnce() + Send + 'scope>` is transmuted to `'static` so it
+//! can sit in the pool's queue. The erasure is sound because the scope
+//! (or `install`) blocks until the task's completion latch fires —
+//! including on the panic path — so no borrow captured by the closure
+//! can be outlived. `tests/pool.rs` exercises the contract (including
+//! panic-in-task and borrow-heavy workloads) and the suite runs under
+//! Miri via `tools/miri-test.sh`.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A queued task, lifetime-erased (see the module-level safety model).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state of one pool.
+struct PoolInner {
+    state: Mutex<PoolState>,
+    /// Signalled on job arrival, scope completion, and shutdown; waited
+    /// on by idle workers and by workers helping a scope drain.
+    cv: Condvar,
+    num_threads: usize,
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl PoolInner {
+    fn push(&self, job: Job) {
+        let mut st = self.state.lock().expect("pool state poisoned");
+        st.queue.push_back(job);
+        // notify_all, not notify_one: a wakeup may land on a worker that
+        // is helping an already-complete scope and about to leave the
+        // wait loop without taking the job.
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Wake everything (scope completed or shutdown requested).
+    fn wake_all(&self) {
+        let _guard = self.state.lock().expect("pool state poisoned");
+        self.cv.notify_all();
+    }
+}
+
+/// Completion latch of one [`scope`] (or one `install`/`join`).
+struct ScopeLatch {
+    pool: Arc<PoolInner>,
+    /// Tasks spawned and not yet finished.
+    pending: Mutex<usize>,
+    /// Signalled when `pending` reaches zero; waited on by non-worker
+    /// scope callers (workers wait on the pool's cv and help instead).
+    done_cv: Condvar,
+    /// First panic payload captured from a task.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeLatch {
+    fn new(pool: Arc<PoolInner>) -> Arc<Self> {
+        Arc::new(ScopeLatch {
+            pool,
+            pending: Mutex::new(0),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        })
+    }
+
+    fn add_task(&self) {
+        *self.pending.lock().expect("latch poisoned") += 1;
+    }
+
+    fn finish_task(&self) {
+        let mut pending = self.pending.lock().expect("latch poisoned");
+        *pending -= 1;
+        if *pending == 0 {
+            drop(pending);
+            self.done_cv.notify_all();
+            // Helping workers wait on the pool cv, not ours.
+            self.pool.wake_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.pending.lock().expect("latch poisoned") == 0
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().expect("latch panic slot poisoned");
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Block the calling thread until all tasks finished. Workers of the
+    /// owning pool help execute queued tasks while they wait.
+    fn wait(&self) {
+        if let Some((pool, _)) = current_worker() {
+            if std::ptr::eq(pool, &*self.pool) {
+                self.wait_helping();
+                return;
+            }
+        }
+        let mut pending = self.pending.lock().expect("latch poisoned");
+        while *pending > 0 {
+            pending = self.done_cv.wait(pending).expect("latch poisoned");
+        }
+    }
+
+    /// Worker-side wait: drain queued tasks until the latch fires.
+    ///
+    /// The done-check happens while the pool's state lock is held, and
+    /// `finish_task`'s final wakeup (`wake_all`) notifies *under* that
+    /// same lock — so "latch fires between our check and `cv.wait`"
+    /// cannot be missed: the finisher blocks on the lock until we are
+    /// inside the wait.
+    fn wait_helping(&self) {
+        loop {
+            let mut st = self.pool.state.lock().expect("pool state poisoned");
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    drop(st);
+                    job();
+                    break;
+                }
+                if self.is_done() {
+                    return;
+                }
+                st = self.pool.cv.wait(st).expect("pool state poisoned");
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// `(pool pointer, worker index)` while on a pool worker thread.
+    /// The raw pointer is valid for the thread's whole life: each worker
+    /// owns an `Arc<PoolInner>` keeping the pointee alive.
+    static CURRENT_WORKER: Cell<Option<(*const PoolInner, usize)>> = const { Cell::new(None) };
+}
+
+/// The pool + index of the current worker thread, if any.
+fn current_worker() -> Option<(&'static PoolInner, usize)> {
+    CURRENT_WORKER.with(|c| {
+        c.get().map(|(ptr, idx)| {
+            // SAFETY: the pointer was published by this very thread's
+            // worker loop, which holds an Arc<PoolInner> for as long as
+            // the thread lives; promotion to &'static is confined to
+            // this call's return value and never stored.
+            (unsafe { &*ptr }, idx)
+        })
+    })
+}
+
+/// Index of the calling thread within its pool (`None` off-pool).
+///
+/// This is the worker-index contract of the crate: stable for the
+/// thread's lifetime, unique and dense (`0..num_threads`) within a pool.
+pub fn current_thread_index() -> Option<usize> {
+    CURRENT_WORKER.with(|c| c.get().map(|(_, idx)| idx))
+}
+
+/// Number of threads of the current pool (the global pool's size when
+/// called from outside any pool).
+pub fn current_num_threads() -> usize {
+    match current_worker() {
+        Some((pool, _)) => pool.num_threads,
+        None => global().inner.num_threads,
+    }
+}
+
+fn default_num_threads() -> usize {
+    for var in ["IPREGEL_PAR_THREADS", "RAYON_NUM_THREADS"] {
+        if let Some(n) = std::env::var(var).ok().and_then(|v| v.parse::<usize>().ok()) {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The process-wide pool, built on first use and never torn down.
+fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        ThreadPoolBuilder::new()
+            .num_threads(default_num_threads())
+            .build()
+            .expect("failed to build the global thread pool")
+    })
+}
+
+/// The pool `scope`/`join` should target from the calling thread: the
+/// worker's own pool on a worker, the global pool elsewhere.
+fn current_pool() -> Arc<PoolInner> {
+    WORKER_POOL_ARC
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(|| global().inner.clone())
+}
+
+thread_local! {
+    /// An owning handle to the worker's pool, so `current_pool` can hand
+    /// out `Arc`s without promoting raw pointers to owners.
+    static WORKER_POOL_ARC: std::cell::RefCell<Option<Arc<PoolInner>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Error building a [`ThreadPool`] (thread spawn failure).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    message: String,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the surface the
+/// workspace uses (`num_threads` + `build`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: None }
+    }
+
+    /// Pool size; `0` (or unset) means the environment default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Spawn the workers.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = self.num_threads.unwrap_or_else(default_num_threads).max(1);
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState { queue: VecDeque::new(), shutdown: false }),
+            cv: Condvar::new(),
+            num_threads: n,
+        });
+        let mut workers = Vec::with_capacity(n);
+        for index in 0..n {
+            let pool = Arc::clone(&inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("ipregel-par-{index}"))
+                .spawn(move || worker_loop(pool, index))
+                .map_err(|e| ThreadPoolBuildError { message: e.to_string() })?;
+            workers.push(handle);
+        }
+        Ok(ThreadPool { inner, workers })
+    }
+}
+
+fn worker_loop(pool: Arc<PoolInner>, index: usize) {
+    CURRENT_WORKER.with(|c| c.set(Some((Arc::as_ptr(&pool), index))));
+    WORKER_POOL_ARC.with(|c| *c.borrow_mut() = Some(Arc::clone(&pool)));
+    loop {
+        let job = {
+            let mut st = pool.state.lock().expect("pool state poisoned");
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = pool.cv.wait(st).expect("pool state poisoned");
+            }
+        };
+        // Jobs are panic-wrapped at spawn time (the payload lands in the
+        // scope latch); a stray panic from the wrapper itself would
+        // still only kill this one worker, not the pool.
+        job();
+    }
+}
+
+/// An owned pool with a fixed number of worker threads.
+///
+/// Dropping the pool shuts the workers down after the queue drains;
+/// every `scope`/`install` blocks to completion first, so drop never
+/// races live tasks.
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("num_threads", &self.inner.num_threads).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Pool size.
+    pub fn current_num_threads(&self) -> usize {
+        self.inner.num_threads
+    }
+
+    /// Run `f` on a worker of this pool and return its result.
+    ///
+    /// Inside `f`, [`current_thread_index`] is `Some(i)` for the worker
+    /// that picked the job up, stable for the whole call — scopes and
+    /// parallel iterators started inside `f` target this pool. Calling
+    /// `install` from a worker of this same pool runs `f` inline.
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        R: Send,
+        F: FnOnce() -> R + Send,
+    {
+        if let Some((pool, _)) = current_worker() {
+            if std::ptr::eq(pool, &*self.inner) {
+                return f();
+            }
+        }
+        let latch = ScopeLatch::new(Arc::clone(&self.inner));
+        let result: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
+        latch.add_task();
+        {
+            let latch = Arc::clone(&latch);
+            let result = Arc::clone(&result);
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let out = catch_unwind(AssertUnwindSafe(f));
+                match out {
+                    Ok(v) => *result.lock().expect("install result poisoned") = Some(v),
+                    Err(payload) => latch.record_panic(payload),
+                }
+                latch.finish_task();
+            });
+            // SAFETY: `install` blocks on the latch below until the job
+            // has run to completion (success or panic), so the borrows
+            // captured by `f` outlive every use; erasing the lifetime
+            // only lets the box sit in the queue meanwhile.
+            let job: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job)
+            };
+            self.inner.push(job);
+        }
+        latch.wait();
+        if let Some(payload) = latch.panic.lock().expect("latch panic slot poisoned").take() {
+            resume_unwind(payload);
+        }
+        let v = result.lock().expect("install result poisoned").take();
+        v.expect("install job finished without a result or a panic")
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().expect("pool state poisoned");
+            st.shutdown = true;
+        }
+        self.inner.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A scope handle: tasks spawned through it are guaranteed to finish
+/// before the enclosing [`scope`] call returns.
+pub struct Scope<'scope> {
+    latch: Arc<ScopeLatch>,
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queue `body` on the scope's pool.
+    ///
+    /// The task receives a scope handle of its own, so tasks can spawn
+    /// further tasks (nested fan-out) into the same scope.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.latch.add_task();
+        let latch = Arc::clone(&self.latch);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let scope = Scope { latch: Arc::clone(&latch), _marker: std::marker::PhantomData };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(&scope))) {
+                latch.record_panic(payload);
+            }
+            latch.finish_task();
+        });
+        // SAFETY: `scope` (the function) blocks on this latch until
+        // every spawned task has completed — including tasks spawned by
+        // tasks, because each spawn increments the latch before the
+        // spawning task decrements it — so all borrows captured by
+        // `body` ('scope) strictly outlive the queued box.
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        let pool = Arc::clone(&self.latch.pool);
+        pool.push(job);
+    }
+}
+
+/// Run `op` with a [`Scope`] on the current pool (the global pool when
+/// called from outside any pool) and wait for every spawned task.
+///
+/// `op` itself runs on the calling thread; tasks run on pool workers. A
+/// worker blocked here helps drain the queue (see the module docs —
+/// this is what makes nested scopes deadlock-free). The first panic
+/// from any task is resumed on the caller after all tasks finished.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let pool = current_pool();
+    let latch = ScopeLatch::new(pool);
+    let s = Scope { latch: Arc::clone(&latch), _marker: std::marker::PhantomData };
+    let result = catch_unwind(AssertUnwindSafe(|| op(&s)));
+    latch.wait();
+    if let Some(payload) = latch.panic.lock().expect("latch panic slot poisoned").take() {
+        resume_unwind(payload);
+    }
+    match result {
+        Ok(r) => r,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// Run `a` and `b`, potentially in parallel, and return both results.
+///
+/// `a` runs on the calling thread; `b` is queued on the current pool.
+/// Mirrors `rayon::join` semantics: if either closure panics, the panic
+/// is propagated only after both have finished.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let rb: Mutex<Option<RB>> = Mutex::new(None);
+    let ra = {
+        let rb = &rb;
+        scope(|s| {
+            s.spawn(move |_| {
+                *rb.lock().expect("join result poisoned") = Some(b());
+            });
+            a()
+        })
+    };
+    let rb = rb.into_inner().expect("join result poisoned").expect("join task completed");
+    (ra, rb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn install_runs_on_a_worker_with_an_index() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let (idx, n) = pool.install(|| (current_thread_index(), current_num_threads()));
+        assert!(idx.is_some());
+        assert!(idx.unwrap() < 3);
+        assert_eq!(n, 3);
+        assert_eq!(current_thread_index(), None, "caller is not a worker");
+    }
+
+    #[test]
+    fn scope_runs_every_task() {
+        let n = 100;
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..n {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn nested_scopes_complete_on_a_single_thread_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let total = pool.install(|| {
+            let counter = AtomicUsize::new(0);
+            scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        // Nested scope from inside a task: the lone
+                        // worker must help-drain instead of deadlocking.
+                        scope(|inner| {
+                            for _ in 0..4 {
+                                inner.spawn(|_| {
+                                    counter.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                    });
+                }
+            });
+            counter.load(Ordering::Relaxed)
+        });
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_siblings_finish() {
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                for i in 0..8 {
+                    let finished = &finished;
+                    s.spawn(move |_| {
+                        if i == 3 {
+                            panic!("task 3 exploded");
+                        }
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(finished.load(Ordering::Relaxed), 7, "siblings drained");
+        // The pool survives: new work still runs.
+        let after = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|_| {
+                after.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(after.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn join_returns_both_and_runs_b_somewhere() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn join_propagates_b_panic() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            join(|| 1, || -> usize { panic!("right side") })
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn install_propagates_panic_and_pool_survives() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let r = catch_unwind(AssertUnwindSafe(|| pool.install(|| panic!("inside install"))));
+        assert!(r.is_err());
+        assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn worker_indices_are_dense_and_stable() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let seen = Mutex::new(std::collections::HashSet::new());
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..64 {
+                    let seen = &seen;
+                    s.spawn(move |_| {
+                        let idx = current_thread_index().expect("task on a worker");
+                        assert!(idx < 4);
+                        seen.lock().unwrap().insert(idx);
+                        // An index observed twice within one closure must
+                        // be identical: the task never migrates.
+                        assert_eq!(current_thread_index(), Some(idx));
+                    });
+                }
+            });
+        });
+        assert!(!seen.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn builder_zero_means_default() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}

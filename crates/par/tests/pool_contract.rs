@@ -1,0 +1,109 @@
+//! The facade contract the workspace's engines rely on, as integration
+//! tests against the public API (see docs/INTERNALS.md, "Parallel
+//! runtime"):
+//!
+//! 1. **Worker indices** inside `install` are `Some`, dense in
+//!    `0..num_threads`, and stable for the life of the pool — the
+//!    sharded `Tracer` and `Worklist::with_shards` route on them.
+//! 2. **Nested scopes** complete (work-helping, not thread-blocking),
+//!    even on a 1-thread pool.
+//! 3. **Panic isolation**: a panicking task propagates to the caller
+//!    *after* its siblings drain, and the pool stays usable — the
+//!    engines' `catch_unwind`-per-chunk design depends on both halves.
+//! 4. **Deterministic reduction** (std-pool only): chunk results are
+//!    combined in chunk order, so float sums are bit-identical from run
+//!    to run at any fixed thread count.
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use ipregel_par::prelude::*;
+use ipregel_par::{current_thread_index, ThreadPoolBuilder};
+
+#[test]
+fn install_exposes_dense_stable_worker_indices() {
+    let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+    for _round in 0..4 {
+        let seen = Mutex::new(BTreeSet::new());
+        pool.install(|| {
+            (0..1024usize).into_par_iter().for_each(|_| {
+                let idx = current_thread_index().expect("par-iter bodies run on pool workers");
+                seen.lock().unwrap().insert(idx);
+            });
+        });
+        let seen = seen.into_inner().unwrap();
+        assert!(
+            seen.iter().all(|&i| i < 3),
+            "indices must stay below num_threads: {seen:?}"
+        );
+        assert!(!seen.is_empty());
+    }
+}
+
+#[test]
+fn nested_scopes_complete_even_on_one_thread() {
+    let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let total = pool.install(|| {
+        (0..8u64)
+            .into_par_iter()
+            .map(|i| {
+                // A nested parallel iterator from inside a chunk body:
+                // the worker must help-drain instead of deadlocking.
+                (0..8u64).into_par_iter().map(|j| i * 8 + j).sum::<u64>()
+            })
+            .sum::<u64>()
+    });
+    assert_eq!(total, (0..64).sum());
+}
+
+#[test]
+fn panic_in_one_task_propagates_and_pool_survives() {
+    let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        pool.install(|| {
+            (0..256usize).into_par_iter().for_each(|i| {
+                assert!(i != 97, "poisoned vertex 97");
+            });
+        });
+    }));
+    let payload = caught.expect_err("the panic must reach the caller");
+    // A literal assert! message panics with &'static str, a formatted
+    // one with String; the pool must preserve either payload verbatim.
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(str::to_owned)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string payload>".into());
+    assert!(msg.contains("poisoned vertex 97"), "payload survives: {msg}");
+
+    // The same pool keeps working afterwards — no poisoned workers, no
+    // lost threads.
+    let sum = pool.install(|| (0..1000u64).into_par_iter().sum::<u64>());
+    assert_eq!(sum, 499_500);
+}
+
+// Chunk-order combination is a std-pool guarantee the facade makes
+// *stronger* than rayon's (rayon re-associates reductions at runtime):
+// for a fixed thread count the chunk plan is fixed, so float sums are
+// bit-identical run to run regardless of which worker takes which
+// chunk. (Across *different* thread counts the plan itself changes, so
+// only approximate equality holds — same as rayon.) Under the `rayon`
+// feature this test is compiled out.
+#[cfg(not(feature = "rayon"))]
+#[test]
+fn float_reductions_are_bit_identical_for_a_fixed_thread_count() {
+    let values: Vec<f64> = (0..10_000).map(|i| 1.0 / f64::from(i + 1)).collect();
+    for threads in [1, 2, 3, 7] {
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let runs: Vec<u64> = (0..8)
+            .map(|_| pool.install(|| values.par_iter().map(|&v| v * v).sum::<f64>()).to_bits())
+            .collect();
+        assert!(
+            runs.windows(2).all(|w| w[0] == w[1]),
+            "chunk-order combining must not depend on worker timing \
+             (threads={threads}): {runs:?}"
+        );
+    }
+}

@@ -17,12 +17,11 @@
 //! everything that varies with node count (local/remote split,
 //! bandwidth, barriers, partition balance) is computed, not calibrated.
 
-use serde::Serialize;
 
 use crate::cluster::ClusterSpec;
 
 /// Per-operation costs, in seconds (defaults in nanoseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Scanning one vertex in the selection loop (Pregel+ checks every
     /// vertex's active flag and inbox each superstep — Section 4).
@@ -50,6 +49,8 @@ pub struct CostModel {
     /// vertex id Pregel+ attaches — Section 7.4.4).
     pub wrap_bytes_per_message: usize,
 }
+
+ipregel::impl_to_json!(CostModel { scan_per_vertex, compute_per_vertex, send_per_message, recv_per_message, bandwidth_bytes_per_sec, barrier_latency, wrap_bytes_per_message });
 
 impl Default for CostModel {
     fn default() -> Self {

@@ -7,7 +7,7 @@
 //! through the sender's per-destination-worker buffer where it is
 //! combined, buffers are exchanged at the superstep barrier, and the
 //! receiver combines into per-vertex inboxes. The engine runs workers on
-//! rayon threads for speed, but the *simulated* time comes from the
+//! pool threads for speed, but the *simulated* time comes from the
 //! [`CostModel`] applied to the per-worker trace.
 
 use std::collections::HashMap;
@@ -18,15 +18,14 @@ use ipregel::sync_cell::SharedSlice;
 use ipregel_graph::csr::Weight;
 use ipregel_graph::partition::Partitioning;
 use ipregel_graph::{AddressMap, Graph, VertexId, VertexIndex};
-use rayon::prelude::*;
-use serde::Serialize;
+use ipregel_par::prelude::*;
 
 use crate::cluster::ClusterSpec;
 use crate::cost::{CostModel, WorkerTrace};
 use crate::memory::MemoryModel;
 
 /// Per-superstep record of the simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimSuperstep {
     /// Superstep number.
     pub superstep: usize,
@@ -41,6 +40,8 @@ pub struct SimSuperstep {
     /// Simulated duration of this superstep.
     pub seconds: f64,
 }
+
+ipregel::impl_to_json!(SimSuperstep { superstep, active, messages_sent, remote_messages, remote_bytes, seconds });
 
 /// Result of a simulated Pregel+ run.
 #[derive(Debug, Clone)]

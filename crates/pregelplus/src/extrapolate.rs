@@ -7,11 +7,10 @@
 //! doubled"; the same rule runs backward to estimate runtimes for node
 //! counts where Pregel+ ran out of memory.
 
-use serde::Serialize;
 
 /// One point of a runtime-vs-nodes series. `seconds == None` marks an
 /// insufficient-memory failure (the shaded region of Figure 8).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodesPoint {
     /// Cluster size.
     pub nodes: usize,
@@ -21,6 +20,8 @@ pub struct NodesPoint {
     /// Whether this value came from extrapolation rather than simulation.
     pub extrapolated: bool,
 }
+
+ipregel::impl_to_json!(NodesPoint { nodes, seconds, extrapolated });
 
 impl NodesPoint {
     /// A measured point.

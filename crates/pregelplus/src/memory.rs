@@ -14,10 +14,9 @@
 //! and the Giraph variant at ≈ 264 GB — the figures [GraphD, TPDS'17]
 //! reports and the paper quotes. Unit tests pin both.
 
-use serde::Serialize;
 
 /// Framework memory constants, all in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryModel {
     /// Fixed per-vertex framework state: C++ vertex object header
     /// (vtable pointer, id, active flag, padding) plus its entry in the
@@ -35,6 +34,8 @@ pub struct MemoryModel {
     /// doubles, 4 for Hashmin/SSSP distances).
     pub message_payload: usize,
 }
+
+ipregel::impl_to_json!(MemoryModel { per_vertex, per_edge, per_message, per_worker_runtime, message_payload });
 
 impl MemoryModel {
     /// Pregel+ defaults. 24 B/vertex ≈ vtable(8) + id(4) + state(4) +

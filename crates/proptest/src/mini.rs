@@ -1,0 +1,647 @@
+//! The mini backend: deterministic sampling, no shrinking.
+//!
+//! See the crate docs for scope and the `real` feature for swapping in
+//! the actual proptest. Everything here is `std`-only.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Failure carried out of a property body by the `prop_assert*!`
+/// macros (the real crate's richer enum collapses to a message here).
+pub type TestCaseError = String;
+
+/// Per-suite configuration; only the fields the workspace sets exist.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+    /// Cap on consecutive `prop_filter` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate's default case count, so suites that tuned
+        // `cases` down for expensive properties keep their intent.
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// Deterministic test RNG: a SplitMix64 stream seeded from the
+/// property's module path, so failures reproduce run-to-run without
+/// any persistence file.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a stable name (FNV-1a over the bytes).
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    fn below(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        let wide = u128::from(self.next_u64()) << 64 | u128::from(self.next_u64());
+        wide % bound
+    }
+
+    /// Uniform in `[0, 1)` with 53 significant bits.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator. `sample` must be deterministic given the RNG
+/// state; `Debug` on the value lets failures print their inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Reject values failing `pred` (resampling, bounded by the
+    /// config's reject cap per draw).
+    fn prop_filter<R, F>(self, reason: R, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { base: self, reason: reason.into(), pred }
+    }
+
+    /// Type-erase (used by `prop_oneof!` to mix arm types).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Object-safe sampling, so strategies of one value type can be mixed.
+pub trait DynStrategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value through the erased type.
+    fn sample_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// An erased strategy (`Strategy::boxed`).
+pub type BoxedStrategy<V> = Box<dyn DynStrategy<Value = V>>;
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.as_ref().sample_dyn(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..ProptestConfig::default().max_global_rejects {
+            let v = self.base.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected every draw: {}", self.reason);
+    }
+}
+
+/// Weighted choice among erased strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    /// Build from `(weight, strategy)` arms; weights must not all be 0.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof needs a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(u128::from(self.total)) as u64;
+        for (w, arm) in &self.arms {
+            if pick < u64::from(*w) {
+                return arm.sample_dyn(rng);
+            }
+            pick -= u64::from(*w);
+        }
+        unreachable!("weights sum covered above");
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Debug + Sized {
+    /// Draw from the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Uniform over *bit patterns*, as the real crate's `any::<f64>()`
+    /// effectively explores: NaNs, infinities, and denormals included.
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    /// Bit-pattern uniform, like the `f64` impl.
+    #[allow(clippy::cast_possible_truncation)]
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+/// Strategy drawing from a type's [`Arbitrary`] impl.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T` (mirrors `proptest::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Integer types usable as range-strategy endpoints.
+pub trait RangeValue: Copy + Debug {
+    /// Uniform in `[start, end)`; panics on an empty range.
+    fn in_half_open(start: Self, end: Self, rng: &mut TestRng) -> Self;
+    /// Uniform in `[start, end]`.
+    fn in_inclusive(start: Self, end: Self, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! range_value_int {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+            fn in_half_open(start: Self, end: Self, rng: &mut TestRng) -> Self {
+                assert!(start < end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128;
+                (start as i128 + rng.below(span) as i128) as $t
+            }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+            fn in_inclusive(start: Self, end: Self, rng: &mut TestRng) -> Self {
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RangeValue for f64 {
+    fn in_half_open(start: Self, end: Self, rng: &mut TestRng) -> Self {
+        assert!(start < end, "empty range strategy");
+        start + rng.unit_f64() * (end - start)
+    }
+    fn in_inclusive(start: Self, end: Self, rng: &mut TestRng) -> Self {
+        Self::in_half_open(start, end + (end - start) * f64::EPSILON, rng)
+    }
+}
+
+impl<T: RangeValue> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::in_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::in_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+macro_rules! strategy_tuple {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+strategy_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+}
+
+/// A length specification for [`collection::vec`].
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange { start: r.start, end: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { start: *r.start(), end: r.end().saturating_add(1) }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { start: n, end: n + 1 }
+    }
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// Vectors of `elem` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = usize::in_half_open(self.size.start, self.size.end.max(self.size.start + 1), rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    use super::RangeValue;
+}
+
+/// Option strategies (mirrors `proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `None` half the time, `Some(inner)` otherwise — the real
+    /// crate's default `Probability`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// Everything a property suite imports (mirrors the real prelude).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Define property tests. Mini semantics: `cases` deterministic samples
+/// per property, no shrinking, discards pass.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            let __strategy = ($($strat,)+);
+            for __case in 0..__config.cases {
+                let __values = $crate::Strategy::sample(&__strategy, &mut __rng);
+                let __described = format!("{:?}", __values);
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (move || {
+                    #[allow(unused_parens, irrefutable_let_patterns)]
+                    let ($($pat,)+) = __values;
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__msg) = __outcome {
+                    panic!(
+                        "proptest-mini: property {} failed at case #{}\n  inputs: {}\n  {}",
+                        stringify!($name),
+                        __case,
+                        __described,
+                        __msg
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Weighted (`w => strat`) or uniform choice among strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fail the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left), stringify!($right), __l, __r
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(format!(
+                        "{}\n  left: {:?}\n right: {:?}",
+                        format!($($fmt)+), __l, __r
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Fail the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: {} != {}\n  both: {:?}",
+                        stringify!($left), stringify!($right), __l
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discard the current case unless `cond` holds (mini semantics: the
+/// discarded case simply counts as a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(5u32..17), &mut rng);
+            assert!((5..17).contains(&v));
+            let w = Strategy::sample(&(1u8..=255), &mut rng);
+            assert!(w >= 1);
+            let f = Strategy::sample(&(0.25f64..0.5), &mut rng);
+            assert!((0.25..0.5).contains(&f));
+            let n = Strategy::sample(&(1usize..2), &mut rng);
+            assert_eq!(n, 1);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let draw = || {
+            let mut rng = TestRng::deterministic("det");
+            prop::collection::vec(any::<u64>(), 3..10).sample(&mut rng)
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn oneof_hits_every_weighted_arm() {
+        let strat = prop_oneof![
+            4 => (0u32..1).prop_map(|_| "heavy"),
+            1 => Just("light"),
+        ];
+        let mut rng = TestRng::deterministic("oneof");
+        let mut heavy = 0;
+        let mut light = 0;
+        for _ in 0..500 {
+            match strat.sample(&mut rng) {
+                "heavy" => heavy += 1,
+                _ => light += 1,
+            }
+        }
+        assert!(heavy > light, "4:1 weighting should dominate: {heavy} vs {light}");
+        assert!(light > 0, "the light arm must still fire");
+    }
+
+    #[test]
+    fn filter_and_map_compose() {
+        let strat = (0u32..100).prop_filter("even only", |v| v % 2 == 0).prop_map(|v| v + 1);
+        let mut rng = TestRng::deterministic("fm");
+        for _ in 0..200 {
+            assert_eq!(strat.sample(&mut rng) % 2, 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn the_macro_front_door_works(
+            xs in prop::collection::vec(1u32..1000, 0..50),
+            flag in any::<bool>(),
+            opt in prop::option::of(0u8..10),
+        ) {
+            prop_assume!(xs.len() != 49);
+            let total: u64 = xs.iter().map(|&x| u64::from(x)).sum();
+            prop_assert!(total >= xs.len() as u64, "each element is at least 1");
+            prop_assert_eq!(flag, flag);
+            if let Some(v) = opt {
+                prop_assert_ne!(v, 10);
+            }
+        }
+    }
+}

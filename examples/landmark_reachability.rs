@@ -41,7 +41,7 @@ fn main() {
     let mut coverage = vec![0u64; landmarks.len()];
     for (_, &mask) in out.iter() {
         for (i, c) in coverage.iter_mut().enumerate() {
-            *c += u64::from(mask >> i & 1);
+            *c += mask >> i & 1;
         }
     }
     let best = coverage.iter().enumerate().max_by_key(|(_, &c)| c).unwrap();

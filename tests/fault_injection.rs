@@ -152,7 +152,8 @@ fn history<V>(out: &RunOutput<V>) -> Vec<(u64, u64)> {
 /// Run `f` with the default panic hook silenced, so intentionally
 /// panicking vertex programs do not spray backtraces over test output.
 fn silencing_panics<T>(f: impl FnOnce() -> T) -> T {
-    struct Restore(Option<Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>>);
+    type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+    struct Restore(Option<PanicHook>);
     impl Drop for Restore {
         fn drop(&mut self) {
             if let Some(prev) = self.0.take() {

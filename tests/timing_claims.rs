@@ -6,8 +6,17 @@
 //! still not immune to a heavily oversubscribed machine, which is why
 //! the margins are wide and the workloads structural (superstep-count
 //! dominated), not microsecond-scale.
+//!
+//! The whole suite is compiled out under `--features check-disjoint`:
+//! the borrow tags add an atomic RMW to every vertex access, a flat
+//! per-access tax that compresses exactly the ratios asserted here
+//! (measured: scan/bypass falls from ~4× to ~1.9× with tags armed).
+//! Instrumented builds check *correctness* claims; timing claims only
+//! hold on uninstrumented code.
 
-use std::sync::Mutex;
+#![cfg(not(feature = "check-disjoint"))]
+
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 use femtograph_sim::run_naive;
@@ -26,7 +35,7 @@ fn timed(f: impl FnOnce() -> u64) -> (Duration, u64) {
 
 #[test]
 fn bypass_beats_scan_on_road_sssp_by_a_wide_margin() {
-    let _guard = SERIAL.lock().unwrap();
+    let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
     // High diameter + tiny frontier: the §4 best case (paper: ×1400 at
     // full scale, ×46 at harness scale; demand ≥3× here).
     let g = USA_ROADS.analog_graph(500, 5, NeighborMode::Both);
@@ -58,7 +67,7 @@ fn bypass_beats_scan_on_road_sssp_by_a_wide_margin() {
 
 #[test]
 fn pull_combiner_wins_pagerank() {
-    let _guard = SERIAL.lock().unwrap();
+    let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
     // Paper Figure 7: broadcast halves the spinlock time; ours is 2–4×.
     // Demand only that pull is faster at all (margin 1.2×).
     let g = WIKIPEDIA.analog_graph(400, 5, NeighborMode::Both);
@@ -82,7 +91,7 @@ fn pull_combiner_wins_pagerank() {
 
 #[test]
 fn optimised_framework_beats_the_naive_baseline() {
-    let _guard = SERIAL.lock().unwrap();
+    let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
     // The FemtoGraph-shaped baseline pays queues + hashmap + scans
     // (harness: 4–15×; demand 2×).
     let g = WIKIPEDIA.analog_graph(400, 5, NeighborMode::Both);
