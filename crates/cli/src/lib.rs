@@ -694,6 +694,7 @@ mod tests {
             }
         }
         pub fn write(contents: &str, ext: &str) -> TempPath {
+            // ordering(Relaxed): unique-id tick; nothing else depends on it
             let n = COUNTER.fetch_add(1, Ordering::Relaxed);
             let path = std::env::temp_dir()
                 .join(format!("ipregel-cli-test-{}-{n}.{ext}", std::process::id()));

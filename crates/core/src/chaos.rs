@@ -23,7 +23,13 @@
 //! zero plumbing, including from pool workers), so tests that arm a
 //! plan serialise themselves — see `tests/fault_injection.rs`.
 
-use std::sync::{Mutex, PoisonError};
+use std::sync::PoisonError;
+
+use crate::sync::lockorder::classes;
+// par's OrderedMutex (over a std mutex) rather than the shim's: the
+// plan registry is a `static`, and only the std mutex is
+// const-constructible in every build mode.
+use ipregel_par::lockorder::{OrderedGuard, OrderedMutex};
 
 use ipregel_graph::checksum::fnv1a64;
 
@@ -79,7 +85,7 @@ struct Armed {
     evals: u64,
 }
 
-static ACTIVE: Mutex<Option<Armed>> = Mutex::new(None);
+static ACTIVE: OrderedMutex<Option<Armed>> = OrderedMutex::new(&classes::CHAOS_ACTIVE, None);
 
 /// Arm `plan` process-wide. Replaces any armed plan.
 pub fn set_plan(plan: ChaosPlan) {
@@ -128,10 +134,11 @@ pub fn maybe_panic(point: &'static str, key: u64) {
     }
 }
 
-fn lock() -> std::sync::MutexGuard<'static, Option<Armed>> {
+fn lock() -> OrderedGuard<'static, Option<Armed>> {
     // The plan mutex guards only plain counters; a panicking holder
     // (impossible today — no user code runs under it) would still leave
     // them usable, so poison is shrugged off.
+    // lock-order(chaos.active)
     ACTIVE.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -147,11 +154,13 @@ fn splitmix64(mut z: u64) -> u64 {
 #[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
-    use std::sync::MutexGuard;
 
-    // Tests share the process-global plan; serialise them.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
-    fn exclusive() -> MutexGuard<'static, ()> {
+    // Tests share the process-global plan; serialise them. The lock is
+    // held around `fires`/`set_plan` calls, so it ranks just below
+    // `chaos.active` in the hierarchy.
+    static TEST_LOCK: OrderedMutex<()> = OrderedMutex::new(&classes::CHAOS_TEST, ());
+    fn exclusive() -> OrderedGuard<'static, ()> {
+        // lock-order(chaos.test)
         TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
     }
 

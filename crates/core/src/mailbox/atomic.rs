@@ -94,6 +94,8 @@ impl<M: PackMessage + Send + Sync> Mailbox<M> for AtomicMailbox<M> {
     }
 
     fn deliver(&self, msg: M, combine: fn(&mut M, M)) -> bool {
+        // ordering(Relaxed): optimistic first read; the CAS below
+        // validates it and supplies the synchronization
         let mut cur = self.state.load(Ordering::Relaxed);
         loop {
             let proposed = if cur == EMPTY {
@@ -103,8 +105,10 @@ impl<M: PackMessage + Send + Sync> Mailbox<M> for AtomicMailbox<M> {
                 combine(&mut old, msg);
                 old.pack()
             };
-            // AcqRel: a successful install must be ordered against the
-            // combine read above and publish the message for the reader.
+            // ordering(AcqRel): a successful install must be ordered
+            // against the combine read above and publish the message for
+            // the reader; ordering(Acquire): on failure, so the retry
+            // combines against the freshly observed occupant
             match self.state.compare_exchange_weak(cur, proposed, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return cur == EMPTY,
                 Err(now) => {
@@ -116,15 +120,21 @@ impl<M: PackMessage + Send + Sync> Mailbox<M> for AtomicMailbox<M> {
     }
 
     fn take(&self) -> Option<M> {
+        // ordering(Acquire): pairs with the AcqRel install in `deliver`
+        // so the packed message's provenance is visible to the reader
         let bits = self.state.swap(EMPTY, Ordering::Acquire);
         (bits != EMPTY).then(|| M::unpack(bits))
     }
 
     fn has_message(&self) -> bool {
+        // ordering(Relaxed): advisory peek; the barrier between deliver
+        // and selection publishes the slot
         self.state.load(Ordering::Relaxed) != EMPTY
     }
 
     fn snapshot(&self) -> Option<M> {
+        // ordering(Acquire): pairs with the AcqRel install in `deliver`;
+        // called at the barrier where deliveries have quiesced
         let bits = self.state.load(Ordering::Acquire);
         (bits != EMPTY).then(|| M::unpack(bits))
     }

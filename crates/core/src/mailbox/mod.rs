@@ -66,7 +66,7 @@ pub(crate) mod conformance {
     //! Shared conformance suite run against every mailbox implementation.
 
     use super::Mailbox;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use crate::sync::atomic::{AtomicU64, Ordering};
 
     fn min32(old: &mut u32, new: u32) {
         if new < *old {
@@ -119,15 +119,19 @@ pub(crate) mod conformance {
                         x ^= x >> 17;
                         x ^= x << 5;
                         let v = x | 1; // avoid 0 to keep u64::MAX sentinel free
+                        // ordering(Relaxed): test tally; thread join synchronizes
                         min_seen.fetch_min(u64::from(v), Ordering::Relaxed);
                         if mb.deliver(v, min32) {
+                            // ordering(Relaxed): test tally; thread join synchronizes
                             firsts.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 });
             }
         });
+        // ordering(Relaxed): read after all threads joined
         assert_eq!(mb.take(), Some(min_seen.load(Ordering::Relaxed) as u32));
+        // ordering(Relaxed): read after all threads joined
         assert_eq!(firsts.load(Ordering::Relaxed), 1, "exactly one first delivery");
     }
 

@@ -8,11 +8,12 @@
 //! single compare-and-replace.
 
 use crate::sync::atomic::{AtomicBool, Ordering};
-use crate::sync::Mutex;
+use crate::sync::lockorder::{classes, OrderedMutex};
 
 use super::Mailbox;
 
-/// A single-message mailbox protected by a blocking [`std::sync::Mutex`].
+/// A single-message mailbox protected by a blocking mutex (the shim's
+/// `Mutex` behind the lock-order wrapper).
 ///
 /// Occupancy is shadowed in a relaxed [`AtomicBool`] so scan selection can
 /// peek without acquiring the lock; the flag is only ever written while
@@ -20,16 +21,20 @@ use super::Mailbox;
 /// claim a message that isn't there once deliveries have quiesced.
 #[derive(Debug)]
 pub struct MutexMailbox<M> {
-    slot: Mutex<Option<M>>,
+    slot: OrderedMutex<Option<M>>,
     has: AtomicBool,
 }
 
 impl<M: Copy + Send> Mailbox<M> for MutexMailbox<M> {
     fn empty() -> Self {
-        MutexMailbox { slot: Mutex::new(None), has: AtomicBool::new(false) }
+        MutexMailbox {
+            slot: OrderedMutex::new(&classes::MAILBOX_SLOT, None),
+            has: AtomicBool::new(false),
+        }
     }
 
     fn deliver(&self, msg: M, combine: fn(&mut M, M)) -> bool {
+        // lock-order(mailbox.slot)
         let mut guard = self.slot.lock().expect("mailbox lock poisoned");
         crate::trace::contention::note_lock_acquisition();
         match guard.as_mut() {
@@ -39,6 +44,9 @@ impl<M: Copy + Send> Mailbox<M> for MutexMailbox<M> {
             }
             None => {
                 *guard = Some(msg);
+                // ordering(Relaxed): advisory occupancy shadow; written
+                // under the slot lock, read by scan selection only after
+                // deliveries quiesce at the superstep barrier
                 self.has.store(true, Ordering::Relaxed);
                 true
             }
@@ -48,24 +56,30 @@ impl<M: Copy + Send> Mailbox<M> for MutexMailbox<M> {
     fn take(&self) -> Option<M> {
         // The read phase has no concurrent writers, but taking the lock
         // keeps this correct under any interleaving.
+        // lock-order(mailbox.slot)
         let mut guard = self.slot.lock().expect("mailbox lock poisoned");
         let m = guard.take();
         if m.is_some() {
+            // ordering(Relaxed): advisory occupancy shadow, written in
+            // the exclusive read phase
             self.has.store(false, Ordering::Relaxed);
         }
         m
     }
 
     fn has_message(&self) -> bool {
+        // ordering(Relaxed): advisory peek; the barrier between deliver
+        // and selection publishes the flag
         self.has.load(Ordering::Relaxed)
     }
 
     fn snapshot(&self) -> Option<M> {
+        // lock-order(mailbox.slot)
         *self.slot.lock().expect("mailbox lock poisoned")
     }
 
     fn lock_bytes() -> usize {
-        std::mem::size_of::<Mutex<()>>()
+        std::mem::size_of::<crate::sync::Mutex<()>>()
     }
 }
 

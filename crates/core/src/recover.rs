@@ -61,6 +61,10 @@ use crate::mailbox::PackMessage;
 use crate::program::VertexProgram;
 use crate::version::Version;
 
+// format-region(ipck-persist, v1): begin — the Persist encodings below
+// are checkpoint wire format; any change needs a FORMAT bump in the
+// ipck region and an ipregel-lint --bless-formats (see
+// docs/INTERNALS.md, "Static analysis: concurrency invariants").
 /// Fixed-size binary encoding for checkpointable vertex state.
 ///
 /// Implemented for the primitive value/message types the bundled
@@ -113,6 +117,7 @@ impl Persist for (u32, u32) {
     fn decode(bytes: &[u8]) -> Self {
         (u32::decode(&bytes[..4]), u32::decode(&bytes[4..]))
     }
+    // format-region(ipck-persist): end
 }
 
 /// Barrier state restored from a checkpoint, in memory.
@@ -268,6 +273,9 @@ impl<V: Persist, M: Persist> RecoveryHooks<V, M> for DiskCheckpointer<V, M> {
     }
 }
 
+// format-region(ipck, v1): begin — everything the writer emits. A
+// layout change here must bump FORMAT *and* the marker version, then
+// re-bless with `cargo run -p ipregel-lint -- --bless-formats`.
 const MAGIC: &[u8; 4] = b"IPCK";
 const FORMAT: u32 = 1;
 
@@ -313,6 +321,7 @@ pub(crate) fn encode_checkpoint<V: Persist, M: Persist>(
     out.extend_from_slice(&checksum.to_le_bytes());
     out
 }
+// format-region(ipck): end
 
 fn push_bitmap(out: &mut Vec<u8>, bits: impl Iterator<Item = bool>) {
     let mut byte = 0u8;

@@ -23,7 +23,7 @@
 
 use crate::sync::atomic::{AtomicU32, Ordering};
 use crate::sync::cell::UnsafeCell;
-use crate::sync::Mutex;
+use crate::sync::lockorder::{classes, OrderedMutex};
 
 use ipregel_par::CachePadded;
 use ipregel_graph::VertexIndex;
@@ -45,7 +45,7 @@ use ipregel_graph::VertexIndex;
 #[derive(Debug)]
 pub struct Worklist {
     shards: Box<[CachePadded<UnsafeCell<Vec<VertexIndex>>>]>,
-    fallback: Mutex<Vec<VertexIndex>>,
+    fallback: OrderedMutex<Vec<VertexIndex>>,
 }
 
 // SAFETY: see the safety model above — shards are disjoint per worker
@@ -72,7 +72,7 @@ impl Worklist {
             .map(|_| CachePadded::new(UnsafeCell::new(Vec::with_capacity(per_shard))))
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        Worklist { shards, fallback: Mutex::new(Vec::new()) }
+        Worklist { shards, fallback: OrderedMutex::new(&classes::WORKLIST_FALLBACK, Vec::new()) }
     }
 
     /// Append `v`. Caller-side dedup (mailbox transition or epoch tags)
@@ -84,6 +84,7 @@ impl Worklist {
             // shard `i` inside a parallel region (pool worker indices
             // are unique within the pool).
             Some(i) => unsafe { self.push_to_shard(i % self.shards.len(), v) },
+            // lock-order(worklist.fallback)
             None => self.fallback.lock().expect("worklist fallback poisoned").push(v),
         }
     }
@@ -116,6 +117,7 @@ impl Worklist {
             // SAFETY: called between parallel regions; no concurrent pushes.
             .map(|s| s.with(|p| unsafe { (*p).len() }))
             .sum();
+        // lock-order(worklist.fallback)
         sharded + self.fallback.lock().expect("worklist fallback poisoned").len()
     }
 
@@ -133,6 +135,7 @@ impl Worklist {
             // SAFETY: called between parallel regions.
             s.with(|p| out.extend_from_slice(unsafe { &*p }));
         }
+        // lock-order(worklist.fallback)
         out.extend_from_slice(&self.fallback.lock().expect("worklist fallback poisoned"));
         out
     }
@@ -156,6 +159,7 @@ impl Worklist {
             // SAFETY: called between parallel regions.
             s.with_mut(|p| unsafe { (*p).clear() });
         }
+        // lock-order(worklist.fallback)
         self.fallback.lock().expect("worklist fallback poisoned").clear();
     }
 
@@ -167,6 +171,7 @@ impl Worklist {
             // SAFETY: called between parallel regions.
             .map(|s| s.with(|p| unsafe { (*p).capacity() }) * std::mem::size_of::<VertexIndex>())
             .sum::<usize>()
+            // lock-order(worklist.fallback)
             + self.fallback.lock().expect("worklist fallback poisoned").capacity()
                 * std::mem::size_of::<VertexIndex>()
             + self.shards.len() * std::mem::size_of::<CachePadded<UnsafeCell<Vec<VertexIndex>>>>()
@@ -196,12 +201,14 @@ impl EpochTags {
     #[inline]
     pub fn claim(&self, v: VertexIndex, epoch: u32) -> bool {
         let tag = &self.tags[v as usize];
-        // Fast path: already claimed by someone this epoch.
+        // ordering(Relaxed): advisory fast path; the swap below decides
         if tag.load(Ordering::Relaxed) == epoch {
             return false;
         }
         // swap is a single RMW: the first thread to swap sees the old
         // epoch and wins; latecomers see `epoch` and lose.
+        // ordering(Relaxed): the win is decided by RMW atomicity alone;
+        // the enqueue it gates is published by the superstep barrier
         tag.swap(epoch, Ordering::Relaxed) != epoch
     }
 

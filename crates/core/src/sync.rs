@@ -123,6 +123,170 @@ pub mod cell {
     }
 }
 
+/// Lock-hierarchy instrumentation: this crate's lock classes plus an
+/// [`OrderedMutex`](lockorder::OrderedMutex) over the *shim* mutex, so
+/// loom models of mutex-based protocols keep working unchanged.
+///
+/// The detector itself lives in `ipregel_par::lockorder` (the lowest
+/// layer — pool locks rank below everything here); this module
+/// re-exports its API and declares the classes of every lock the core
+/// crate owns. The full hierarchy is mirrored in
+/// `crates/lint/src/manifest.rs` (`LOCK_HIERARCHY`) and `ipregel-lint`
+/// cross-checks the two, so rank edits cannot drift past the manifest.
+pub mod lockorder {
+    pub use ipregel_par::lockorder::{acquire, acquire_try, held_count, Held, LockClass};
+
+    /// Whether the runtime lock-order detector is compiled in. Lets
+    /// downstream crates (which see this crate's resolved features, not
+    /// their own) skip size assertions the detector's bookkeeping
+    /// fields would invalidate.
+    pub const fn armed() -> bool {
+        cfg!(feature = "lock-order")
+    }
+
+    /// Every lock class the workspace declares, pool classes included.
+    pub mod classes {
+        pub use ipregel_par::lockorder::classes::{
+            POOL_LATCH, POOL_PANIC, POOL_RESULT, POOL_STATE,
+        };
+
+        use super::LockClass;
+
+        /// Serialises the chaos unit tests around the process-global
+        /// plan (test-only; ranks just below `chaos.active` because its
+        /// holder arms/evaluates the plan).
+        pub const CHAOS_TEST: LockClass = LockClass::new(33, "chaos.test");
+        /// The chaos registry's active-plan slot (`chaos::ACTIVE`).
+        pub const CHAOS_ACTIVE: LockClass = LockClass::new(35, "chaos.active");
+        /// The worklist's off-pool fallback vec (`Worklist::fallback`).
+        pub const WORKLIST_FALLBACK: LockClass = LockClass::new(40, "worklist.fallback");
+        /// A tracer's per-worker event shard (`Tracer::shards`).
+        pub const TRACER_SHARD: LockClass = LockClass::new(50, "tracer.shard");
+        /// A tracer's main event log (`Tracer::log`). Ranks above the
+        /// shards: `barrier`/`take_events` drain shard → log.
+        pub const TRACER_LOG: LockClass = LockClass::new(60, "tracer.log");
+        /// A `MutexMailbox` message slot (`MutexMailbox::slot`).
+        pub const MAILBOX_SLOT: LockClass = LockClass::new(70, "mailbox.slot");
+        /// A `SpinMailbox` spinlock (`mailbox::spin::SpinLock`).
+        /// Mailbox classes rank highest: a vertex program may send
+        /// (locking a mailbox) from inside any engine context, so no
+        /// other lock may ever be taken *under* a mailbox lock.
+        pub const MAILBOX_SPIN: LockClass = LockClass::new(80, "mailbox.spin");
+    }
+
+    /// The shim-mutex counterpart of
+    /// [`ipregel_par::lockorder::OrderedMutex`]: same hierarchy check,
+    /// but wrapping [`crate::sync::Mutex`] so that under `--cfg loom`
+    /// the inner lock is loom's model-checked double.
+    pub struct OrderedMutex<T> {
+        inner: super::Mutex<T>,
+        #[cfg(feature = "lock-order")]
+        class: &'static LockClass,
+    }
+
+    impl<T> OrderedMutex<T> {
+        /// A new unlocked mutex of the given class.
+        #[cfg(not(loom))]
+        pub const fn new(class: &'static LockClass, value: T) -> Self {
+            #[cfg(not(feature = "lock-order"))]
+            let _ = class;
+            OrderedMutex {
+                inner: super::Mutex::new(value),
+                #[cfg(feature = "lock-order")]
+                class,
+            }
+        }
+
+        /// A new unlocked mutex of the given class (loom's constructor
+        /// is not `const`).
+        #[cfg(loom)]
+        pub fn new(class: &'static LockClass, value: T) -> Self {
+            #[cfg(not(feature = "lock-order"))]
+            let _ = class;
+            OrderedMutex {
+                inner: super::Mutex::new(value),
+                #[cfg(feature = "lock-order")]
+                class,
+            }
+        }
+
+        /// Blocking lock; checks the hierarchy before blocking.
+        pub fn lock(&self) -> std::sync::LockResult<OrderedGuard<'_, T>> {
+            #[cfg(feature = "lock-order")]
+            let held = acquire(self.class);
+            #[cfg(not(feature = "lock-order"))]
+            let held = no_op_token();
+            match self.inner.lock() {
+                Ok(inner) => Ok(OrderedGuard { _held: held, inner }),
+                Err(poisoned) => Err(std::sync::PoisonError::new(OrderedGuard {
+                    _held: held,
+                    inner: poisoned.into_inner(),
+                })),
+            }
+        }
+
+        /// Non-blocking lock; records but (being unable to deadlock)
+        /// does not enforce the hierarchy.
+        pub fn try_lock(&self) -> std::sync::TryLockResult<OrderedGuard<'_, T>> {
+            use std::sync::{PoisonError, TryLockError};
+            #[cfg(feature = "lock-order")]
+            let held = acquire_try(self.class);
+            #[cfg(not(feature = "lock-order"))]
+            let held = no_op_token();
+            match self.inner.try_lock() {
+                Ok(inner) => Ok(OrderedGuard { _held: held, inner }),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                Err(TryLockError::Poisoned(poisoned)) => {
+                    Err(TryLockError::Poisoned(PoisonError::new(OrderedGuard {
+                        _held: held,
+                        inner: poisoned.into_inner(),
+                    })))
+                }
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for OrderedMutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            let mut d = f.debug_struct("OrderedMutex");
+            #[cfg(feature = "lock-order")]
+            d.field("class", &self.class.name());
+            d.finish_non_exhaustive()
+        }
+    }
+
+    /// The feature-off [`Held`] token (zero-sized; `acquire` is not
+    /// called so the detector's thread-local stays untouched).
+    #[cfg(not(feature = "lock-order"))]
+    fn no_op_token() -> Held {
+        // acquire() with the feature off is an inlined no-op returning
+        // the empty token; routing through it keeps `Held` construction
+        // in one place.
+        acquire(&classes::MAILBOX_SPIN)
+    }
+
+    /// Guard of an [`OrderedMutex`]: the shim guard plus the hierarchy
+    /// token, released together.
+    #[derive(Debug)]
+    pub struct OrderedGuard<'a, T> {
+        _held: Held,
+        inner: super::MutexGuard<'a, T>,
+    }
+
+    impl<T> std::ops::Deref for OrderedGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T> std::ops::DerefMut for OrderedGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+}
+
 #[cfg(all(test, not(loom)))]
 mod tests {
     use super::atomic::{AtomicU32, Ordering};
@@ -131,7 +295,9 @@ mod tests {
     #[test]
     fn shim_atomics_are_std_atomics() {
         let a = AtomicU32::new(1);
+        // ordering(Release): smoke test of the shim's re-export only
         a.store(7, Ordering::Release);
+        // ordering(Acquire): pairs with the Release store above
         assert_eq!(a.load(Ordering::Acquire), 7);
         assert_eq!(std::mem::size_of::<AtomicU32>(), 4);
     }

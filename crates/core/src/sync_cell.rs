@@ -94,6 +94,8 @@ impl<'a, T> SharedSlice<'a, T> {
     pub unsafe fn get_mut(&self, i: usize) -> SliceRefMut<'_, T> {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
         #[cfg(feature = "check-disjoint")]
+        // ordering(Acquire): claiming the tag must also acquire the
+        // previous holder's element writes (pairs with the Release drop)
         if self.tags[i].swap(1, Ordering::Acquire) != 0 {
             panic!("SharedSlice: overlapping get_mut on index {i} — engine disjointness violated");
         }
@@ -121,6 +123,8 @@ impl<'a, T> SharedSlice<'a, T> {
     pub unsafe fn get(&self, i: usize) -> &T {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
         #[cfg(feature = "check-disjoint")]
+        // ordering(Acquire): a clean read must see the writes released
+        // by the last guard drop
         if self.tags[i].load(Ordering::Acquire) != 0 {
             panic!("SharedSlice: get on index {i} while mutably borrowed — engine phase violated");
         }
@@ -164,6 +168,8 @@ impl<T> std::ops::DerefMut for SliceRefMut<'_, T> {
 #[cfg(feature = "check-disjoint")]
 impl<T> Drop for SliceRefMut<'_, T> {
     fn drop(&mut self) {
+        // ordering(Release): publishes this guard's element writes to
+        // the next Acquire claim of the same index
         self.tag.store(0, Ordering::Release);
     }
 }

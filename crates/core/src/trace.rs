@@ -37,7 +37,7 @@
 use std::time::Duration;
 
 use crate::sync::atomic::{AtomicU64, Ordering};
-use crate::sync::Mutex;
+use crate::sync::lockorder::{classes, OrderedMutex};
 
 use ipregel_par::CachePadded;
 
@@ -234,8 +234,8 @@ pub fn ns(d: Duration) -> u64 {
 /// guarded by `try_lock`, so a surprising topology degrades to
 /// contention, never to undefined behaviour.
 pub struct Tracer {
-    shards: Box<[CachePadded<Mutex<Vec<TraceEvent>>>]>,
-    log: Mutex<Vec<TraceEvent>>,
+    shards: Box<[CachePadded<OrderedMutex<Vec<TraceEvent>>>]>,
+    log: OrderedMutex<Vec<TraceEvent>>,
     dropped: AtomicU64,
     rss_sampler: Option<fn() -> Option<u64>>,
     rss_every: usize,
@@ -266,12 +266,12 @@ impl Tracer {
     /// A tracer with an explicit shard count (exposed for tests).
     pub fn with_shards(shards: usize) -> Self {
         let shards = (0..shards.max(1))
-            .map(|_| CachePadded::new(Mutex::new(Vec::new())))
+            .map(|_| CachePadded::new(OrderedMutex::new(&classes::TRACER_SHARD, Vec::new())))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         Tracer {
             shards,
-            log: Mutex::new(Vec::new()),
+            log: OrderedMutex::new(&classes::TRACER_LOG, Vec::new()),
             dropped: AtomicU64::new(0),
             rss_sampler: None,
             rss_every: 0,
@@ -294,18 +294,24 @@ impl Tracer {
     pub fn record(&self, event: TraceEvent) {
         if let Some(i) = ipregel_par::current_thread_index() {
             let shard = &self.shards[i % self.shards.len()];
+            // lock-order(tracer.shard)
             if let Ok(mut v) = shard.try_lock() {
                 if v.len() < SHARD_CAPACITY {
                     v.push(event);
                 } else {
+                    // ordering(Relaxed): monotone drop counter, read only
+                    // after the run quiesces
                     self.dropped.fetch_add(1, Ordering::Relaxed);
                 }
                 return;
             }
         }
+        // lock-order(tracer.log)
         match self.log.lock() {
             Ok(mut log) => log.push(event),
             Err(_) => {
+                // ordering(Relaxed): monotone drop counter, read only
+                // after the run quiesces
                 self.dropped.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -317,9 +323,12 @@ impl Tracer {
     /// pool worker when the engine owns its pool, so routing by thread
     /// index would misfile them into a chunk shard.
     pub fn record_sync(&self, event: TraceEvent) {
+        // lock-order(tracer.log)
         match self.log.lock() {
             Ok(mut log) => log.push(event),
             Err(_) => {
+                // ordering(Relaxed): monotone drop counter, read only
+                // after the run quiesces
                 self.dropped.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -332,11 +341,13 @@ impl Tracer {
     pub fn barrier(&self, superstep: usize) {
         let mut staged: Vec<TraceEvent> = Vec::new();
         for shard in self.shards.iter() {
+            // lock-order(tracer.shard)
             if let Ok(mut v) = shard.lock() {
                 staged.append(&mut v);
             }
         }
         staged.sort_by_key(|e| e.chunk_order());
+        // lock-order(tracer.log)
         if let Ok(mut log) = self.log.lock() {
             log.append(&mut staged);
         }
@@ -359,11 +370,13 @@ impl Tracer {
         // A final drain in case the engine never reached a barrier.
         let mut tail: Vec<TraceEvent> = Vec::new();
         for shard in self.shards.iter() {
+            // lock-order(tracer.shard)
             if let Ok(mut v) = shard.lock() {
                 tail.append(&mut v);
             }
         }
         tail.sort_by_key(|e| e.chunk_order());
+        // lock-order(tracer.log)
         let mut out = match self.log.lock() {
             Ok(mut log) => std::mem::take(&mut *log),
             Err(_) => Vec::new(),
@@ -374,6 +387,7 @@ impl Tracer {
 
     /// Events discarded because a shard hit its bound.
     pub fn dropped_events(&self) -> u64 {
+        // ordering(Relaxed): monotone counter; callers read post-run
         self.dropped.load(Ordering::Relaxed)
     }
 }

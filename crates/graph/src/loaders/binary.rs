@@ -32,6 +32,9 @@ use crate::checksum::Fnv64;
 use crate::csr::Graph;
 use crate::error::GraphError;
 
+// format-region(ipgb, v2): begin — the graph cache wire format. A
+// layout change here must bump VERSION *and* the marker version, then
+// re-bless with `cargo run -p ipregel-lint -- --bless-formats`.
 const MAGIC: &[u8; 4] = b"IPGB";
 /// Current (checksummed) format version.
 const VERSION: u32 = 2;
@@ -97,6 +100,7 @@ pub fn write_binary<W: Write>(
     w.write_all(&hash.finish().to_le_bytes())?;
     Ok(())
 }
+// format-region(ipgb): end
 
 /// Deserialise an `IPGB` stream into a [`Graph`].
 ///

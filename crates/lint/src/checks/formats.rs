@@ -1,0 +1,245 @@
+//! Serialized-format version lint.
+//!
+//! Wire formats (the `IPCK` checkpoint layout, the `IPGB` graph cache)
+//! are delimited in-source by marker comments:
+//!
+//! ```text
+//! // format-region(ipck, v1): begin
+//! const MAGIC: &[u8; 4] = b"IPCK";
+//! ...
+//! // format-region(ipck): end
+//! ```
+//!
+//! Each region is fingerprinted: comments are stripped (string literals
+//! kept — changing `b"IPCK"` *is* a format change), whitespace is
+//! collapsed, and the bytes are FNV-1a-hashed. The hash and the marker
+//! version are compared against the committed `crates/lint/formats.lock`:
+//!
+//! * hash changed, version unchanged → **error** (a layout edit without
+//!   a version bump is exactly the on-disk-corruption bug this exists
+//!   to stop);
+//! * version changed → error pointing at `--bless-formats`, which
+//!   rewrites the lock once the bump is deliberate;
+//! * region/lock mismatch in either direction → error.
+
+use crate::scanner::fnv1a64;
+use crate::{SourceFile, Violation};
+
+const CHECK: &str = "format-version";
+
+struct Region {
+    name: String,
+    version: u32,
+    file: String,
+    line: usize,
+    hash: u64,
+}
+
+/// Check every marked region against `lock_contents`. Returns the
+/// violations plus the lock file content that *would* be correct (used
+/// by `--bless-formats`).
+pub fn check(files: &[SourceFile], lock_contents: Option<&str>) -> (Vec<Violation>, String) {
+    let mut out = Vec::new();
+    let mut regions: Vec<Region> = Vec::new();
+
+    for f in files {
+        let mut open: Option<(String, u32, usize, Vec<u8>)> = None;
+        for (i, line) in f.scanned.lines.iter().enumerate() {
+            let lineno = i + 1;
+            if let Some((name, version)) = parse_begin(&line.comment) {
+                if let Some((prev, ..)) = &open {
+                    out.push(violation(
+                        f,
+                        lineno,
+                        format!("format-region({name}) opened while {prev} is still open"),
+                    ));
+                }
+                open = Some((name, version, lineno, Vec::new()));
+                continue;
+            }
+            if let Some(name) = parse_end(&line.comment) {
+                match open.take() {
+                    Some((open_name, version, begin_line, bytes)) if open_name == name => {
+                        if regions.iter().any(|r| r.name == name) {
+                            out.push(violation(
+                                f,
+                                begin_line,
+                                format!("duplicate format-region({name})"),
+                            ));
+                        }
+                        regions.push(Region {
+                            name,
+                            version,
+                            file: f.rel.clone(),
+                            line: begin_line,
+                            hash: fnv1a64(&bytes),
+                        });
+                    }
+                    Some((open_name, ..)) => out.push(violation(
+                        f,
+                        lineno,
+                        format!("format-region({name}): end closes format-region({open_name})"),
+                    )),
+                    None => out.push(violation(
+                        f,
+                        lineno,
+                        format!("format-region({name}): end without a begin"),
+                    )),
+                }
+                continue;
+            }
+            if let Some((.., bytes)) = &mut open {
+                // Normalise: code with strings kept, whitespace dropped,
+                // so reformatting and comment edits never churn the hash.
+                bytes.extend(line.code_strings.bytes().filter(|b| !b.is_ascii_whitespace()));
+            }
+        }
+        if let Some((name, _, begin_line, _)) = open {
+            out.push(violation(f, begin_line, format!("format-region({name}) never closed")));
+        }
+    }
+
+    regions.sort_by(|a, b| a.name.cmp(&b.name));
+    let blessed = render_lock(&regions);
+
+    let locked = lock_contents.map(parse_lock).unwrap_or_default();
+    for r in &regions {
+        match locked.iter().find(|(n, ..)| *n == r.name) {
+            None => out.push(Violation {
+                file: r.file.clone(),
+                line: r.line,
+                check: CHECK,
+                message: format!(
+                    "format-region({}) has no fingerprint in crates/lint/formats.lock — \
+                     run `cargo run -p ipregel-lint -- --bless-formats`",
+                    r.name
+                ),
+            }),
+            Some((_, version, hash)) => {
+                if *version == r.version && *hash != r.hash {
+                    out.push(Violation {
+                        file: r.file.clone(),
+                        line: r.line,
+                        check: CHECK,
+                        message: format!(
+                            "format-region({}) changed without a version bump (still v{}): \
+                             readers of existing files will misparse — bump the format \
+                             version constant AND the marker, then re-bless",
+                            r.name, r.version
+                        ),
+                    });
+                } else if *version != r.version {
+                    out.push(Violation {
+                        file: r.file.clone(),
+                        line: r.line,
+                        check: CHECK,
+                        message: format!(
+                            "format-region({}) bumped to v{} but formats.lock records v{} — \
+                             run `cargo run -p ipregel-lint -- --bless-formats` to accept",
+                            r.name, r.version, version
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for (name, ..) in &locked {
+        if !regions.iter().any(|r| &r.name == name) {
+            out.push(Violation {
+                file: "crates/lint/formats.lock".into(),
+                line: 0,
+                check: CHECK,
+                message: format!(
+                    "formats.lock records region `{name}` but no source marks it — re-bless \
+                     (or restore the markers)"
+                ),
+            });
+        }
+    }
+
+    (out, blessed)
+}
+
+fn violation(f: &SourceFile, line: usize, message: String) -> Violation {
+    Violation { file: f.rel.clone(), line, check: CHECK, message }
+}
+
+/// `format-region(<name>, v<int>): begin`
+fn parse_begin(comment: &str) -> Option<(String, u32)> {
+    let at = comment.find("format-region(")?;
+    let rest = &comment[at + "format-region(".len()..];
+    let end = rest.find(')')?;
+    let inner = &rest[..end];
+    if !rest[end..].trim_start_matches(')').trim_start().starts_with(": begin") {
+        return None;
+    }
+    let (name, ver) = inner.split_once(',')?;
+    let ver = ver.trim().strip_prefix('v')?;
+    Some((name.trim().to_string(), ver.parse().ok()?))
+}
+
+/// `format-region(<name>): end`
+fn parse_end(comment: &str) -> Option<String> {
+    let at = comment.find("format-region(")?;
+    let rest = &comment[at + "format-region(".len()..];
+    let end = rest.find(')')?;
+    let inner = &rest[..end];
+    if inner.contains(',') || !rest[end..].trim_start_matches(')').trim_start().starts_with(": end")
+    {
+        return None;
+    }
+    Some(inner.trim().to_string())
+}
+
+/// Lock line format: `<name> v<version> <hash as 16 hex digits>`.
+fn parse_lock(contents: &str) -> Vec<(String, u32, u64)> {
+    contents
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .filter_map(|l| {
+            let mut it = l.split_whitespace();
+            let name = it.next()?.to_string();
+            let version = it.next()?.strip_prefix('v')?.parse().ok()?;
+            let hash = u64::from_str_radix(it.next()?, 16).ok()?;
+            Some((name, version, hash))
+        })
+        .collect()
+}
+
+fn render_lock(regions: &[Region]) -> String {
+    let mut s = String::from(
+        "# Serialized-format fingerprints. Generated by `cargo run -p ipregel-lint -- \
+         --bless-formats`;\n# see docs/INTERNALS.md, \"Static analysis: concurrency \
+         invariants\". Do not edit by hand.\n",
+    );
+    for r in regions {
+        s.push_str(&format!("{} v{} {:016x}\n", r.name, r.version, r.hash));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markers_parse() {
+        assert_eq!(parse_begin(" format-region(ipck, v1): begin — notes"), Some(("ipck".into(), 1)));
+        assert_eq!(parse_begin(" format-region(ipck): end"), None);
+        assert_eq!(parse_end(" format-region(ipck): end"), Some("ipck".into()));
+        assert_eq!(parse_end(" format-region(ipck, v1): begin"), None);
+    }
+
+    #[test]
+    fn lock_round_trips() {
+        let regions = vec![Region {
+            name: "x".into(),
+            version: 3,
+            file: "f.rs".into(),
+            line: 1,
+            hash: 0xdead_beef,
+        }];
+        let rendered = render_lock(&regions);
+        assert_eq!(parse_lock(&rendered), vec![("x".into(), 3, 0xdead_beef)]);
+    }
+}

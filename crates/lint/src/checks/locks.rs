@@ -1,0 +1,181 @@
+//! Lock-hierarchy lint: three sub-checks over the same scan.
+//!
+//! 1. **Acquisition annotations** — every `.lock(` / `.try_lock(` site
+//!    carries an adjacent `// lock-order(<class>)` naming a class
+//!    declared in the hierarchy manifest, so a reader (and a reviewer)
+//!    can see where each acquisition sits in the global order without
+//!    chasing types. Files implementing the lock machinery itself are
+//!    exempt (their inner `.lock()` has a dynamic class).
+//! 2. **std-sync ban** — naming `std::sync::{Mutex, RwLock, Condvar,
+//!    Barrier}` outside the allowlisted runtime layer fails: everything
+//!    else must use the `ipregel::sync` shim (loom-faithful) or the
+//!    ordered wrappers (hierarchy-enforced).
+//! 3. **Manifest drift** — every literal `LockClass::new(<rank>,
+//!    "<name>")` declaration in the sources must match the manifest
+//!    exactly, in both directions, with consistent ranks. The static
+//!    table and the runtime detector cannot diverge silently.
+
+use crate::scanner::token_occurrences;
+use crate::{SourceFile, Violation};
+
+const CHECK: &str = "lock-order";
+
+/// Blocking primitives that must not be named outside the shim layer.
+const BANNED_STD_SYNC: &[&str] = &["Mutex", "RwLock", "Condvar", "Barrier"];
+
+pub fn check(
+    files: &[SourceFile],
+    hierarchy: &[(&str, u16)],
+    impl_files: &[&str],
+    std_sync_allowed: &[&str],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // name -> rank as declared in source, for drift checking.
+    let mut declared: Vec<(String, u16, String, usize)> = Vec::new();
+
+    for f in files {
+        let exempt_sites = impl_files.contains(&f.rel.as_str());
+        let std_sync_ok = std_sync_allowed.contains(&f.rel.as_str());
+        for (i, line) in f.scanned.lines.iter().enumerate() {
+            let lineno = i + 1;
+
+            // 1. Acquisition sites.
+            if !exempt_sites {
+                let sites = token_occurrences(&line.code, ".lock(").len()
+                    + token_occurrences(&line.code, ".try_lock(").len();
+                if sites > 0 {
+                    let block = f.scanned.annotation_block(lineno);
+                    match parse_lock_order(&block) {
+                        None => out.push(Violation {
+                            file: f.rel.clone(),
+                            line: lineno,
+                            check: CHECK,
+                            message: "lock acquisition without an adjacent \
+                                      `// lock-order(<class>)` annotation"
+                                .into(),
+                        }),
+                        Some(class) if !hierarchy.iter().any(|(n, _)| *n == class) => {
+                            out.push(Violation {
+                                file: f.rel.clone(),
+                                line: lineno,
+                                check: CHECK,
+                                message: format!(
+                                    "lock-order({class}) names a class missing from \
+                                     LOCK_HIERARCHY (crates/lint/src/manifest.rs)"
+                                ),
+                            });
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+
+            // 2. std-sync ban.
+            if !std_sync_ok {
+                for prim in BANNED_STD_SYNC {
+                    let inline = !token_occurrences(&line.code, &format!("std::sync::{prim}"))
+                        .is_empty();
+                    let imported = line.code.contains("use std::sync::")
+                        && !token_occurrences(&line.code, prim).is_empty();
+                    if inline || imported {
+                        out.push(Violation {
+                            file: f.rel.clone(),
+                            line: lineno,
+                            check: CHECK,
+                            message: format!(
+                                "raw std::sync::{prim} outside the runtime layer — use the \
+                                 `ipregel::sync` shim or an OrderedMutex so loom models and \
+                                 the lock hierarchy keep seeing this lock"
+                            ),
+                        });
+                    }
+                }
+            }
+
+            // 3. Collect LockClass::new literals (the name lives inside
+            //    a string literal, so match on the string-preserving
+            //    view).
+            for at in token_occurrences(&line.code_strings, "LockClass::new(") {
+                let tail = &line.code_strings[at + "LockClass::new(".len()..];
+                if let Some((rank, name)) = parse_class_literal(tail) {
+                    declared.push((name, rank, f.rel.clone(), lineno));
+                }
+            }
+        }
+    }
+
+    // Drift, both directions.
+    for (name, rank, file, lineno) in &declared {
+        match hierarchy.iter().find(|(n, _)| n == name) {
+            None => out.push(Violation {
+                file: file.clone(),
+                line: *lineno,
+                check: CHECK,
+                message: format!(
+                    "LockClass `{name}` (rank {rank}) is not declared in LOCK_HIERARCHY \
+                     (crates/lint/src/manifest.rs)"
+                ),
+            }),
+            Some((_, want)) if want != rank => out.push(Violation {
+                file: file.clone(),
+                line: *lineno,
+                check: CHECK,
+                message: format!(
+                    "LockClass `{name}` declares rank {rank} but LOCK_HIERARCHY says {want}"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (name, _) in hierarchy {
+        if !declared.iter().any(|(n, ..)| n == name) {
+            out.push(Violation {
+                file: "crates/lint/src/manifest.rs".into(),
+                line: 0,
+                check: CHECK,
+                message: format!(
+                    "LOCK_HIERARCHY declares `{name}` but no LockClass::new literal defines \
+                     it in the sources"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Extract the class from the first `lock-order(<class>)` in `block`.
+fn parse_lock_order(block: &str) -> Option<String> {
+    let at = block.find("lock-order(")?;
+    let rest = &block[at + "lock-order(".len()..];
+    let end = rest.find(')')?;
+    Some(rest[..end].trim().to_string())
+}
+
+/// Parse `<int>, "<name>")…` after a `LockClass::new(`.
+fn parse_class_literal(tail: &str) -> Option<(u16, String)> {
+    let (num, rest) = tail.split_once(',')?;
+    let digits: String = num.trim().chars().take_while(char::is_ascii_digit).collect();
+    let rank: u16 = digits.parse().ok()?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some((rank, rest[..end].to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_literal_parses() {
+        assert_eq!(parse_class_literal("10, \"pool.state\")"), Some((10, "pool.state".into())));
+        assert_eq!(parse_class_literal("90, \"a.b\");"), Some((90, "a.b".into())));
+        assert_eq!(parse_class_literal("rank, name)"), None);
+    }
+
+    #[test]
+    fn lock_order_annotation_parses() {
+        assert_eq!(parse_lock_order(" lock-order(mailbox.spin)"), Some("mailbox.spin".into()));
+        assert_eq!(parse_lock_order("nothing here"), None);
+    }
+}

@@ -1,0 +1,9 @@
+//! The check families. Each takes scanned sources plus the relevant
+//! manifest tables, so the self-test suite can run any check against
+//! fixture content under synthetic paths.
+
+pub mod formats;
+pub mod locks;
+pub mod orderings;
+pub mod tracecov;
+pub mod unsafe_confine;

@@ -1,0 +1,99 @@
+//! Atomic-ordering audit.
+//!
+//! Every `Ordering::<Ord>` appearing in code must be justified by an
+//! adjacent annotation — on the same line or in the comment block
+//! immediately above:
+//!
+//! ```text
+//! // ordering(Acquire): pairs with the Release store in `unlock`
+//! while self.locked.swap(true, Ordering::Acquire) { ... }
+//! ```
+//!
+//! A line using several orderings (a compare-exchange's success and
+//! failure pair) needs each distinct ordering named in the block. The
+//! file's set of orderings must additionally be *declared* in the
+//! manifest's protocol table — so introducing, say, a first `AcqRel`
+//! into a Relaxed-only file is a reviewed manifest change, not a silent
+//! edit. `SeqCst` never appears in any protocol entry: using it is a
+//! hard error regardless of annotation ("when in doubt, SeqCst" creep
+//! is exactly what this check exists to stop).
+
+use crate::scanner::token_occurrences;
+use crate::{SourceFile, Violation};
+
+const CHECK: &str = "ordering";
+
+pub fn check(files: &[SourceFile], protocols: &[(&str, &[&str])]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        let allowed: Option<&[&str]> =
+            protocols.iter().find(|(p, _)| *p == f.rel).map(|(_, o)| *o);
+        let mut file_uses_atomics = false;
+        for (i, line) in f.scanned.lines.iter().enumerate() {
+            let lineno = i + 1;
+            let mut used = Vec::new();
+            for ord in crate::manifest::ORDERINGS {
+                if !token_occurrences(&line.code, &format!("Ordering::{ord}")).is_empty() {
+                    used.push(*ord);
+                }
+            }
+            if used.is_empty() {
+                continue;
+            }
+            file_uses_atomics = true;
+            let block = f.scanned.annotation_block(lineno);
+            for ord in used {
+                if ord == "SeqCst" {
+                    out.push(Violation {
+                        file: f.rel.clone(),
+                        line: lineno,
+                        check: CHECK,
+                        message: "Ordering::SeqCst is banned: no protocol in this workspace \
+                                  needs sequential consistency — state the actual \
+                                  acquire/release pairing instead"
+                            .into(),
+                    });
+                    continue;
+                }
+                if !block.contains(&format!("ordering({ord})")) {
+                    out.push(Violation {
+                        file: f.rel.clone(),
+                        line: lineno,
+                        check: CHECK,
+                        message: format!(
+                            "Ordering::{ord} without an adjacent `// ordering({ord}): \
+                             <justification>` annotation"
+                        ),
+                    });
+                    continue;
+                }
+                match allowed {
+                    Some(orderings) if !orderings.contains(&ord) => out.push(Violation {
+                        file: f.rel.clone(),
+                        line: lineno,
+                        check: CHECK,
+                        message: format!(
+                            "Ordering::{ord} is not part of this file's declared protocol \
+                             ({}); extend ATOMIC_PROTOCOLS in crates/lint/src/manifest.rs \
+                             if the protocol really changed",
+                            orderings.join(", ")
+                        ),
+                    }),
+                    _ => {}
+                }
+            }
+        }
+        if file_uses_atomics && allowed.is_none() {
+            out.push(Violation {
+                file: f.rel.clone(),
+                line: 0,
+                check: CHECK,
+                message: "file uses atomics but has no entry in the ATOMIC_PROTOCOLS table \
+                          (crates/lint/src/manifest.rs): declare which orderings its \
+                          protocol uses"
+                    .into(),
+            });
+        }
+    }
+    out
+}

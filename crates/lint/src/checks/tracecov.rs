@@ -1,0 +1,51 @@
+//! Trace-hook coverage.
+//!
+//! The observability layer (docs/INTERNALS.md, "Observability") only
+//! works if every engine entry point and mailbox keeps emitting its
+//! structured events — a refactor that drops an emit breaks every
+//! consumer silently, because nothing *fails*, the data just stops.
+//! This check pins the contract: for each file in the coverage
+//! manifest, each required token must still appear in comment-stripped
+//! code (so a commented-out emit does not count).
+
+use crate::scanner::token_occurrences;
+use crate::{SourceFile, Violation};
+
+const CHECK: &str = "trace-coverage";
+
+pub fn check(files: &[SourceFile], coverage: &[(&str, &[&str])]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (rel, tokens) in coverage {
+        let Some(f) = files.iter().find(|f| f.rel == *rel) else {
+            out.push(Violation {
+                file: (*rel).to_string(),
+                line: 0,
+                check: CHECK,
+                message: "file named in TRACE_COVERAGE is missing — update \
+                          crates/lint/src/manifest.rs if it moved"
+                    .into(),
+            });
+            continue;
+        };
+        for token in *tokens {
+            let found = f
+                .scanned
+                .lines
+                .iter()
+                .any(|l| !token_occurrences(&l.code, token).is_empty());
+            if !found {
+                out.push(Violation {
+                    file: (*rel).to_string(),
+                    line: 0,
+                    check: CHECK,
+                    message: format!(
+                        "no longer emits `{token}` — restore the trace hook or (if the \
+                         contract really changed) update TRACE_COVERAGE in \
+                         crates/lint/src/manifest.rs and docs/INTERNALS.md"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,83 @@
+//! Unsafe-confinement audit, absorbed from `tools/unsafe_audit.rs`.
+//!
+//! The `unsafe` token may appear only in the allowlisted boundary
+//! modules (each carries a module-level safety argument and a checker —
+//! loom, `check-disjoint`, Miri, TSan; see docs/INTERNALS.md, "Safety
+//! model"), and the files declared unsafe-free must still carry
+//! `#![forbid(unsafe_code)]`.
+//!
+//! New over the retired tool: **stale-allowlist detection**. An
+//! allowlist entry whose file no longer contains `unsafe` is an error —
+//! the boundary must shrink when the code does, or the list rots into
+//! a pile of latent permissions.
+
+use std::path::Path;
+
+use crate::{SourceFile, Violation};
+
+const CHECK: &str = "unsafe-confinement";
+
+pub fn check(
+    repo: &Path,
+    files: &[SourceFile],
+    allowlist: &[&str],
+    forbid_files: &[&str],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        let lines = f.scanned.token_lines("unsafe");
+        let listed = allowlist.contains(&f.rel.as_str());
+        if !lines.is_empty() && !listed {
+            out.push(Violation {
+                file: f.rel.clone(),
+                line: lines[0],
+                check: CHECK,
+                message: format!(
+                    "`unsafe` outside the allowlisted boundary (lines {lines:?}) — remove \
+                     it, or extend UNSAFE_ALLOWLIST in crates/lint/src/manifest.rs AND \
+                     document the invariant + checker in docs/INTERNALS.md"
+                ),
+            });
+        }
+        if lines.is_empty() && listed {
+            out.push(Violation {
+                file: f.rel.clone(),
+                line: 0,
+                check: CHECK,
+                message: "stale UNSAFE_ALLOWLIST entry: the file no longer contains \
+                          `unsafe` — shrink the boundary in crates/lint/src/manifest.rs \
+                          (and consider adding #![forbid(unsafe_code)] + a FORBID_FILES \
+                          entry)"
+                    .into(),
+            });
+        }
+    }
+    for rel in allowlist {
+        if !files.iter().any(|f| f.rel == *rel) {
+            out.push(Violation {
+                file: (*rel).to_string(),
+                line: 0,
+                check: CHECK,
+                message: "UNSAFE_ALLOWLIST names a file that does not exist".into(),
+            });
+        }
+    }
+    for rel in forbid_files {
+        match std::fs::read_to_string(repo.join(rel)) {
+            Ok(src) if src.contains("#![forbid(unsafe_code)]") => {}
+            Ok(_) => out.push(Violation {
+                file: (*rel).to_string(),
+                line: 0,
+                check: CHECK,
+                message: "lost its #![forbid(unsafe_code)]".into(),
+            }),
+            Err(_) => out.push(Violation {
+                file: (*rel).to_string(),
+                line: 0,
+                check: CHECK,
+                message: "FORBID_FILES names a file that does not exist".into(),
+            }),
+        }
+    }
+    out
+}

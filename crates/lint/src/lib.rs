@@ -1,0 +1,156 @@
+//! ipregel-lint: static enforcement of the workspace's concurrency and
+//! serialization invariants.
+//!
+//! Four check families (see docs/INTERNALS.md, "Static analysis:
+//! concurrency invariants" for the annotation grammar and run
+//! commands):
+//!
+//! * **orderings** — every `Ordering::*` use carries an adjacent
+//!   `// ordering(<Ord>): <why>` annotation, checked against the
+//!   per-file protocol table; `SeqCst` is banned outright;
+//! * **locks** — every acquisition site carries
+//!   `// lock-order(<class>)` naming a declared hierarchy class; raw
+//!   `std::sync` blocking primitives are banned outside the shim; the
+//!   hierarchy manifest is cross-checked against the `LockClass::new`
+//!   declarations in the sources;
+//! * **tracecov** — engine entry points and mailboxes still emit their
+//!   structured trace events;
+//! * **formats** — marked serialization regions are fingerprinted, and
+//!   a change without a version bump fails;
+//!
+//! plus the unsafe-confinement audit absorbed from
+//! `tools/unsafe_audit.rs`, extended with stale-allowlist detection.
+//!
+//! Everything is lexical — the shared [`scanner`] strips comments and
+//! literals, checks match tokens — so the linter builds std-only and
+//! offline, and runs in milliseconds over the whole tree.
+
+#![forbid(unsafe_code)]
+
+pub mod checks;
+pub mod manifest;
+pub mod scanner;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One finding. `line == 0` means the violation is about the whole file
+/// (or a missing file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub file: String,
+    pub line: usize,
+    pub check: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.check, self.message)
+        } else {
+            write!(f, "{}:{}: [{}] {}", self.file, self.line, self.check, self.message)
+        }
+    }
+}
+
+/// A loaded, scanned source file. Checks operate on these, so the test
+/// suite can feed synthetic files with fixture content.
+pub struct SourceFile {
+    /// Repo-relative path, forward slashes.
+    pub rel: String,
+    pub scanned: scanner::Scanned,
+}
+
+impl SourceFile {
+    /// Scan `content` under a synthetic path (used by fixtures).
+    pub fn from_content(rel: &str, content: &str) -> SourceFile {
+        SourceFile { rel: rel.to_string(), scanned: scanner::scan(content) }
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Load every `.rs` file under `roots` (relative to `repo`), excluding
+/// paths containing any [`manifest::EXCLUDED`] fragment.
+pub fn load_tree(repo: &Path, roots: &[&str]) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    for root in roots {
+        collect_rs_files(&repo.join(root), &mut paths);
+    }
+    paths.sort();
+    let mut files = Vec::new();
+    for path in paths {
+        let rel = path
+            .strip_prefix(repo)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if manifest::EXCLUDED.iter().any(|ex| rel.starts_with(ex)) {
+            continue;
+        }
+        let source = fs::read_to_string(&path)
+            .map_err(|e| io::Error::new(e.kind(), format!("{rel}: {e}")))?;
+        files.push(SourceFile { rel, scanned: scanner::scan(&source) });
+    }
+    Ok(files)
+}
+
+/// Run every check over the repository at `repo`.
+///
+/// With `bless_formats`, the format fingerprints are rewritten instead
+/// of compared (and format violations are not reported).
+pub fn run(repo: &Path, bless_formats: bool) -> io::Result<Vec<Violation>> {
+    // Annotation checks cover library/binary sources only: integration
+    // tests sit outside the locking/ordering protocols they exercise
+    // (a test may build ad-hoc mutexes to *provoke* the detector).
+    let annotated: Vec<SourceFile> = load_tree(repo, manifest::ANNOTATED_ROOTS)?
+        .into_iter()
+        .filter(|f| f.rel.starts_with("src/") || f.rel.contains("/src/"))
+        .collect();
+    let all = load_tree(repo, manifest::SEARCH_ROOTS)?;
+
+    let mut violations = Vec::new();
+    violations.extend(checks::orderings::check(&annotated, manifest::ATOMIC_PROTOCOLS));
+    violations.extend(checks::locks::check(
+        &annotated,
+        manifest::LOCK_HIERARCHY,
+        manifest::LOCK_IMPL_FILES,
+        manifest::STD_SYNC_ALLOWED,
+    ));
+    violations.extend(checks::tracecov::check(&annotated, manifest::TRACE_COVERAGE));
+
+    let lock_path = repo.join(manifest::FORMATS_LOCK);
+    let lock_contents = fs::read_to_string(&lock_path).ok();
+    let (format_violations, blessed) =
+        checks::formats::check(&annotated, lock_contents.as_deref());
+    if bless_formats {
+        fs::write(&lock_path, blessed)?;
+    } else {
+        violations.extend(format_violations);
+    }
+
+    violations.extend(checks::unsafe_confine::check(
+        repo,
+        &all,
+        manifest::UNSAFE_ALLOWLIST,
+        manifest::FORBID_FILES,
+    ));
+
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(violations)
+}

@@ -1,0 +1,70 @@
+//! CLI for the invariant linter.
+//!
+//! ```sh
+//! cargo run -p ipregel-lint --offline              # lint the repo
+//! cargo run -p ipregel-lint -- --root /some/tree   # lint another tree
+//! cargo run -p ipregel-lint -- --bless-formats     # refresh formats.lock
+//! ```
+//!
+//! Exit status 0 = clean, 1 = violations (printed one per line as
+//! `file:line: [check] message`), 2 = usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut bless = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("ipregel-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--bless-formats" => bless = true,
+            other => {
+                eprintln!("ipregel-lint: unknown argument `{other}`");
+                eprintln!("usage: ipregel-lint [--root <path>] [--bless-formats]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // When cargo runs us from the workspace root the default `.` is
+    // already right; from elsewhere, fall back to the manifest's
+    // grandparent so `cargo run -p ipregel-lint` works anywhere.
+    if root.as_os_str() == "." && !root.join("crates/lint/Cargo.toml").exists() {
+        if let Ok(manifest_dir) = std::env::var("CARGO_MANIFEST_DIR") {
+            if let Some(repo) = PathBuf::from(manifest_dir).parent().and_then(|p| p.parent()) {
+                root = repo.to_path_buf();
+            }
+        }
+    }
+
+    match ipregel_lint::run(&root, bless) {
+        Ok(violations) if violations.is_empty() => {
+            if bless {
+                println!("ipregel-lint: formats.lock refreshed");
+            }
+            println!("ipregel-lint: OK");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("ipregel-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("ipregel-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Lexical scanner shared by every check.
+//!
+//! Splits a Rust source file into per-line *code* and *comment* views
+//! without parsing it: a small state machine (grown from the original
+//! `tools/unsafe_audit.rs` audit, which this crate absorbed) tracks
+//! line/block comments, string/char literals, raw strings, and the
+//! lifetime-vs-char-literal ambiguity. Checks then match tokens against
+//! the code view — so `// unsafe` in prose or `"Ordering::SeqCst"` in a
+//! message can never trip a lint — and match annotations against the
+//! comment view, so annotations inside strings don't satisfy anything.
+//!
+//! Three views per line:
+//!
+//! * [`Line::code`] — code with comments removed and string/char
+//!   *contents* blanked (delimiting quotes kept, so token boundaries
+//!   survive). The view token searches run against.
+//! * [`Line::code_strings`] — code with comments removed but string
+//!   contents kept. Used where literals are load-bearing: extracting
+//!   `LockClass::new(10, "pool.state")` declarations and fingerprinting
+//!   format regions (where changing `b"IPCK"` *is* a format change).
+//! * [`Line::comment`] — the comment text, for annotation matching.
+
+/// One scanned source line.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code with comments stripped and literal contents blanked.
+    pub code: String,
+    /// Code with comments stripped, literal contents kept.
+    pub code_strings: String,
+    /// Comment text (both `//` and `/* */` forms), delimiters stripped.
+    pub comment: String,
+}
+
+impl Line {
+    /// Whether the line holds no code at all (blank or comment-only).
+    pub fn is_code_free(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+
+    /// Whether the line's code is only attribute syntax (`#[...]` /
+    /// `#![...]`), possibly split across the line.
+    pub fn is_attribute_only(&self) -> bool {
+        let t = self.code.trim();
+        !t.is_empty() && t.chars().all(|c| "#![]()_=,\":".contains(c) || c.is_alphanumeric())
+            && (t.starts_with("#[") || t.starts_with("#!["))
+    }
+}
+
+/// A scanned file: the per-line views plus helpers checks share.
+#[derive(Debug)]
+pub struct Scanned {
+    pub lines: Vec<Line>,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(usize),
+    Char,
+}
+
+/// Scan `source` into per-line code/comment views.
+pub fn scan(source: &str) -> Scanned {
+    let bytes = source.as_bytes();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if b == b'"' {
+                    cur.code.push('"');
+                    cur.code_strings.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if b == b'r' && matches!(bytes.get(i + 1), Some(b'"' | b'#')) {
+                    // Raw string r"..." / r#"..."#; `r#ident` raw
+                    // identifiers fall through as plain code.
+                    let mut hashes = 0usize;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        cur.code.push_str("r\"");
+                        cur.code_strings.push_str("r\"");
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        cur.code.push('r');
+                        cur.code_strings.push('r');
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    // A lifetime is `'ident` not closed by a quote.
+                    let is_lifetime = bytes
+                        .get(i + 1)
+                        .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_')
+                        && bytes.get(i + 2) != Some(&b'\'');
+                    cur.code.push('\'');
+                    cur.code_strings.push('\'');
+                    if !is_lifetime {
+                        state = State::Char;
+                    }
+                    i += 1;
+                } else {
+                    cur.code.push(b as char);
+                    cur.code_strings.push(b as char);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(b as char);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(b as char);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' {
+                    cur.code_strings.push_str(
+                        std::str::from_utf8(&bytes[i..(i + 2).min(bytes.len())]).unwrap_or(" "),
+                    );
+                    i += 2; // skip the escaped byte (covers \" and \\)
+                } else if b == b'"' {
+                    cur.code.push('"');
+                    cur.code_strings.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    cur.code_strings.push(b as char);
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' {
+                    let mut j = i + 1;
+                    let mut seen = 0usize;
+                    while seen < hashes && bytes.get(j) == Some(&b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        cur.code.push('"');
+                        cur.code_strings.push('"');
+                        state = State::Code;
+                        i = j;
+                        continue;
+                    }
+                }
+                cur.code.push(' ');
+                cur.code_strings.push(b as char);
+                i += 1;
+            }
+            State::Char => {
+                if b == b'\\' {
+                    i += 2;
+                } else if b == b'\'' {
+                    cur.code.push('\'');
+                    cur.code_strings.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    cur.code_strings.push(b as char);
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines.push(cur);
+    Scanned { lines }
+}
+
+fn is_ident_byte(b: Option<u8>) -> bool {
+    b.is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// Byte offsets of ident-boundary-respecting occurrences of `token`
+/// in `haystack`.
+pub fn token_occurrences(haystack: &str, token: &str) -> Vec<usize> {
+    let hb = haystack.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = haystack[from..].find(token) {
+        let at = from + pos;
+        let before = if at == 0 { None } else { Some(hb[at - 1]) };
+        let after = hb.get(at + token.len()).copied();
+        let starts_ident = token.as_bytes().first().is_some_and(|b| b.is_ascii_alphabetic() || *b == b'_');
+        let ends_ident = token.as_bytes().last().is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
+        if (!starts_ident || !is_ident_byte(before)) && (!ends_ident || !is_ident_byte(after)) {
+            out.push(at);
+        }
+        from = at + token.len().max(1);
+    }
+    out
+}
+
+impl Scanned {
+    /// 1-based lines on which `token` occurs in real code.
+    pub fn token_lines(&self, token: &str) -> Vec<usize> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !token_occurrences(&l.code, token).is_empty())
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+
+    /// The annotation text governing 1-based line `line`: the line's own
+    /// comment plus the contiguous run of comment-only (or
+    /// attribute-only) lines directly above. A blank line or a code
+    /// line terminates the run — annotations must sit *adjacent* to the
+    /// site they justify.
+    pub fn annotation_block(&self, line: usize) -> String {
+        let idx = line - 1;
+        let mut parts = vec![self.lines[idx].comment.clone()];
+        for l in self.lines[..idx].iter().rev() {
+            let pure_comment = l.is_code_free() && !l.comment.is_empty();
+            if pure_comment || l.is_attribute_only() {
+                parts.push(l.comment.clone());
+            } else {
+                break;
+            }
+        }
+        parts.reverse();
+        parts.join("\n")
+    }
+}
+
+/// FNV-1a 64-bit — the same digest the workspace uses for checkpoints
+/// and graph caches, re-stated here so the linter stays dependency-free
+/// (it must not link the crates it lints).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_separated() {
+        let s = scan("let x = \"unsafe\"; // unsafe note\nunsafe { () }\n");
+        assert!(s.token_lines("unsafe") == vec![2]);
+        assert!(s.lines[0].comment.contains("unsafe note"));
+        assert!(s.lines[0].code_strings.contains("\"unsafe\""));
+        assert!(!s.lines[0].code.contains("unsafe"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let s = scan("/* a /* b */ still */ code();\n/* open\nstill comment\n*/ tail();\n");
+        assert_eq!(s.token_lines("code"), vec![1]);
+        assert_eq!(s.token_lines("tail"), vec![4]);
+        assert!(s.lines[2].is_code_free());
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        assert!(s.token_lines("str") == vec![1]);
+        assert!(!s.lines[0].code.contains('x') || s.lines[0].code.contains("x:"));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let s = scan("let r = r#\"unsafe { lock() }\"#; f();\n");
+        assert!(s.token_lines("unsafe").is_empty());
+        assert_eq!(s.token_lines("f"), vec![1]);
+    }
+
+    #[test]
+    fn annotation_block_walks_comment_runs_only() {
+        let src = "\
+let a = 1;
+
+// ordering(Relaxed): tally
+// spans two lines
+x.load(Ordering::Relaxed);
+let b = 2;
+y.load(Ordering::Acquire);
+";
+        let s = scan(src);
+        assert!(s.annotation_block(5).contains("ordering(Relaxed)"));
+        assert!(!s.annotation_block(7).contains("ordering"));
+    }
+
+    #[test]
+    fn token_boundaries_are_respected() {
+        let s = scan("raw_unlock(); lock(); prelock();\n");
+        assert!(token_occurrences(&s.lines[0].code, "lock(").len() == 1);
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: a marked serialization region. The self-test fingerprints
+// this, then "edits" it (textually) and asserts the check fires.
+
+// format-region(fixture, v1): begin
+const MAGIC: &[u8; 4] = b"FIXT";
+const FORMAT: u32 = 1;
+
+fn encode(out: &mut Vec<u8>, n: u64) {
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT.to_le_bytes());
+    out.extend_from_slice(&n.to_le_bytes());
+}
+// format-region(fixture): end

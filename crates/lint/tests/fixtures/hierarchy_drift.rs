@@ -1,0 +1,5 @@
+// Fixture: LockClass declarations that disagree with the manifest —
+// one with the wrong rank, one the manifest has never heard of.
+
+pub const POOL_STATE: LockClass = LockClass::new(11, "pool.state");
+pub const ROGUE: LockClass = LockClass::new(95, "rogue.lock");

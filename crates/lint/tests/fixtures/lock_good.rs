@@ -1,0 +1,8 @@
+// Fixture: lock acquisitions annotated with declared classes.
+
+fn drain(slot: &SomeOrderedMutex) {
+    // lock-order(mailbox.slot)
+    let mut guard = slot.lock().expect("slot poisoned");
+    guard.clear();
+    slot.try_lock().ok(); // lock-order(mailbox.slot)
+}

@@ -1,0 +1,6 @@
+// Fixture: a bare lock acquisition, no lock-order annotation.
+
+fn drain(slot: &SomeOrderedMutex) {
+    let mut guard = slot.lock().expect("slot poisoned");
+    guard.clear();
+}

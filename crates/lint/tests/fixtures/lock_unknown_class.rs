@@ -1,0 +1,7 @@
+// Fixture: annotated, but the class is not in the hierarchy manifest.
+
+fn drain(slot: &SomeOrderedMutex) {
+    // lock-order(mailbox.imaginary)
+    let mut guard = slot.lock().expect("slot poisoned");
+    guard.clear();
+}

@@ -1,0 +1,20 @@
+// Fixture: every ordering annotated per the grammar; protocol-conformant.
+// Not compiled — scanned by tests/self_test.rs.
+
+fn publish(flag: &std::sync::atomic::AtomicBool) {
+    use std::sync::atomic::Ordering;
+    // ordering(Release): publishes the payload writes above to the
+    // Acquire load in `consume`
+    flag.store(true, Ordering::Release);
+}
+
+fn consume(flag: &std::sync::atomic::AtomicBool) -> bool {
+    use std::sync::atomic::Ordering;
+    // ordering(Acquire): pairs with the Release store in `publish`
+    flag.load(Ordering::Acquire)
+}
+
+fn tally(n: &std::sync::atomic::AtomicU64) {
+    use std::sync::atomic::Ordering;
+    n.fetch_add(1, Ordering::Relaxed); // ordering(Relaxed): counter, read at the barrier
+}

@@ -1,0 +1,7 @@
+// Fixture: an atomic use with no ordering annotation anywhere nearby.
+
+fn peek(flag: &std::sync::atomic::AtomicBool) -> bool {
+    use std::sync::atomic::Ordering;
+    // A perfectly nice comment that never justifies the ordering.
+    flag.load(Ordering::Acquire)
+}

@@ -1,0 +1,8 @@
+// Fixture: annotated AcqRel in a file whose declared protocol is
+// Relaxed-only — the annotation is fine, the protocol table disagrees.
+
+fn swap(state: &std::sync::atomic::AtomicU64) -> u64 {
+    use std::sync::atomic::Ordering;
+    // ordering(AcqRel): full barrier around the exchange
+    state.swap(7, Ordering::AcqRel)
+}

@@ -1,0 +1,7 @@
+// Fixture: SeqCst creep — annotated, even, but still banned.
+
+fn creep(flag: &std::sync::atomic::AtomicBool) {
+    use std::sync::atomic::Ordering;
+    // ordering(SeqCst): when in doubt, the strongest thing, right?
+    flag.store(true, Ordering::SeqCst);
+}

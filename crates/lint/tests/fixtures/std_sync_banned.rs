@@ -1,0 +1,9 @@
+// Fixture: raw std::sync blocking primitives outside the shim layer.
+
+use std::sync::Mutex;
+
+static STATE: Mutex<u32> = Mutex::new(0);
+
+fn wait(cv: &std::sync::Condvar) {
+    let _ = cv;
+}

@@ -1,0 +1,8 @@
+// Fixture: an "engine" that still emits its required trace events.
+
+fn run(tracer: &Tracer) {
+    trace::emit_sync(tracer, || TraceEvent::RunBegin { threads: 1 });
+    trace::emit_sync(tracer, || TraceEvent::SuperstepBegin { superstep: 0 });
+    trace::emit_sync(tracer, || TraceEvent::SuperstepEnd { superstep: 0 });
+    trace::emit_sync(tracer, || TraceEvent::RunEnd { supersteps: 1 });
+}

@@ -1,0 +1,9 @@
+// Fixture: the refactor dropped SuperstepEnd — and commented-out emits
+// must not count as coverage.
+
+fn run(tracer: &Tracer) {
+    trace::emit_sync(tracer, || TraceEvent::RunBegin { threads: 1 });
+    trace::emit_sync(tracer, || TraceEvent::SuperstepBegin { superstep: 0 });
+    // trace::emit_sync(tracer, || TraceEvent::SuperstepEnd { superstep: 0 });
+    trace::emit_sync(tracer, || TraceEvent::RunEnd { supersteps: 1 });
+}

@@ -1,0 +1,6 @@
+// Fixture: unsafe outside the allowlisted boundary.
+
+fn sneaky(p: *mut u32) {
+    // SAFETY: none whatsoever.
+    unsafe { *p = 7 };
+}

@@ -1,0 +1,267 @@
+//! The linter's self-test: every check must pass on its good fixture
+//! and fail — with the right message — on its seeded violation. The
+//! fixtures are committed source snippets under `tests/fixtures/`
+//! (never compiled, only scanned), so the suite is stream-agnostic: it
+//! needs nothing but this crate.
+
+use ipregel_lint::checks::{formats, locks, orderings, tracecov, unsafe_confine};
+use ipregel_lint::{SourceFile, Violation};
+use std::path::Path;
+
+fn fixture(name: &str) -> SourceFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let content = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    SourceFile::from_content(&format!("fixtures/{name}"), &content)
+}
+
+fn fixture_content(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(path).unwrap()
+}
+
+fn assert_one_mentioning(violations: &[Violation], needle: &str) {
+    assert_eq!(
+        violations.len(),
+        1,
+        "expected exactly one violation mentioning {needle:?}, got: {violations:#?}"
+    );
+    assert!(
+        violations[0].message.contains(needle) || violations[0].check.contains(needle),
+        "violation does not mention {needle:?}: {violations:#?}"
+    );
+}
+
+// ---- atomic-ordering audit ------------------------------------------------
+
+#[test]
+fn ordering_clean_fixture_passes() {
+    let files = [fixture("ordering_good.rs")];
+    let protocols: &[(&str, &[&str])] =
+        &[("fixtures/ordering_good.rs", &["Relaxed", "Acquire", "Release"])];
+    let v = orderings::check(&files, protocols);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn ordering_missing_annotation_fails() {
+    let files = [fixture("ordering_missing.rs")];
+    let protocols: &[(&str, &[&str])] = &[("fixtures/ordering_missing.rs", &["Acquire"])];
+    let v = orderings::check(&files, protocols);
+    assert_one_mentioning(&v, "without an adjacent");
+    assert_eq!(v[0].line, 6, "points at the unannotated load");
+}
+
+#[test]
+fn ordering_seqcst_is_a_hard_error_even_annotated() {
+    let files = [fixture("ordering_seqcst.rs")];
+    let protocols: &[(&str, &[&str])] = &[("fixtures/ordering_seqcst.rs", &["Relaxed"])];
+    let v = orderings::check(&files, protocols);
+    assert_one_mentioning(&v, "SeqCst is banned");
+}
+
+#[test]
+fn ordering_outside_declared_protocol_fails() {
+    let files = [fixture("ordering_off_protocol.rs")];
+    let protocols: &[(&str, &[&str])] = &[("fixtures/ordering_off_protocol.rs", &["Relaxed"])];
+    let v = orderings::check(&files, protocols);
+    assert_one_mentioning(&v, "not part of this file's declared protocol");
+}
+
+#[test]
+fn ordering_without_protocol_entry_fails() {
+    let files = [fixture("ordering_good.rs")];
+    let v = orderings::check(&files, &[]);
+    assert_one_mentioning(&v, "no entry in the ATOMIC_PROTOCOLS table");
+}
+
+// ---- lock-hierarchy lint --------------------------------------------------
+
+const TEST_HIERARCHY: &[(&str, u16)] = &[("pool.state", 10), ("mailbox.slot", 70)];
+
+/// Site-level violations only (drop the manifest-completeness findings,
+/// which always fire when linting a fixture subset).
+fn lock_site_violations(files: &[SourceFile]) -> Vec<Violation> {
+    locks::check(files, TEST_HIERARCHY, &[], &[])
+        .into_iter()
+        .filter(|v| !v.message.contains("no LockClass::new literal"))
+        .collect()
+}
+
+#[test]
+fn lock_clean_fixture_passes() {
+    let v = lock_site_violations(&[fixture("lock_good.rs")]);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn lock_unannotated_acquisition_fails() {
+    let v = lock_site_violations(&[fixture("lock_unannotated.rs")]);
+    assert_one_mentioning(&v, "without an adjacent");
+}
+
+#[test]
+fn lock_unknown_class_fails() {
+    let v = lock_site_violations(&[fixture("lock_unknown_class.rs")]);
+    assert_one_mentioning(&v, "missing from");
+}
+
+#[test]
+fn std_sync_primitives_are_banned_outside_the_shim() {
+    let v = lock_site_violations(&[fixture("std_sync_banned.rs")]);
+    let msgs: Vec<_> = v.iter().map(|v| &v.message).collect();
+    assert!(
+        v.len() >= 2 && msgs.iter().any(|m| m.contains("Mutex"))
+            && msgs.iter().any(|m| m.contains("Condvar")),
+        "{v:#?}"
+    );
+    // ...and the same file is fine when allowlisted (the shim layer).
+    let allowed =
+        locks::check(&[fixture("std_sync_banned.rs")], TEST_HIERARCHY, &[], &["fixtures/std_sync_banned.rs"]);
+    assert!(allowed.iter().all(|v| !v.message.contains("std::sync")), "{allowed:#?}");
+}
+
+#[test]
+fn hierarchy_drift_fails_in_both_directions() {
+    let v = locks::check(&[fixture("hierarchy_drift.rs")], TEST_HIERARCHY, &[], &[]);
+    assert!(
+        v.iter().any(|v| v.message.contains("declares rank 11") && v.message.contains("says 10")),
+        "wrong-rank declaration must fail: {v:#?}"
+    );
+    assert!(
+        v.iter().any(|v| v.message.contains("rogue.lock")
+            && v.message.contains("not declared in LOCK_HIERARCHY")),
+        "undeclared class must fail: {v:#?}"
+    );
+    assert!(
+        v.iter().any(|v| v.message.contains("mailbox.slot")
+            && v.message.contains("no LockClass::new literal")),
+        "manifest entry with no declaration must fail: {v:#?}"
+    );
+}
+
+// ---- trace-hook coverage --------------------------------------------------
+
+const TRACE_REQUIRED: &[(&str, &[&str])] = &[(
+    "fixtures/trace_fixture.rs",
+    &[
+        "TraceEvent::RunBegin",
+        "TraceEvent::SuperstepBegin",
+        "TraceEvent::SuperstepEnd",
+        "TraceEvent::RunEnd",
+    ],
+)];
+
+#[test]
+fn trace_coverage_passes_when_all_events_emitted() {
+    let f = SourceFile::from_content("fixtures/trace_fixture.rs", &fixture_content("trace_good.rs"));
+    let v = tracecov::check(&[f], TRACE_REQUIRED);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn trace_coverage_fails_when_an_emit_is_dropped_or_commented() {
+    let f =
+        SourceFile::from_content("fixtures/trace_fixture.rs", &fixture_content("trace_missing.rs"));
+    let v = tracecov::check(&[f], TRACE_REQUIRED);
+    assert_one_mentioning(&v, "TraceEvent::SuperstepEnd");
+}
+
+#[test]
+fn trace_coverage_fails_on_missing_file() {
+    let v = tracecov::check(&[], TRACE_REQUIRED);
+    assert_one_mentioning(&v, "missing");
+}
+
+// ---- format-version lint --------------------------------------------------
+
+#[test]
+fn format_regions_fingerprint_and_detect_unversioned_edits() {
+    let original = fixture_content("format_region.rs");
+    let files = [SourceFile::from_content("fixtures/format_region.rs", &original)];
+
+    // No lock yet: the region is unrecorded, and check() hands back the
+    // lock content --bless-formats would write.
+    let (v, blessed) = formats::check(&files, None);
+    assert_one_mentioning(&v, "no fingerprint");
+
+    // Blessed: clean.
+    let (v, _) = formats::check(&files, Some(&blessed));
+    assert!(v.is_empty(), "{v:#?}");
+
+    // Comment edits inside the region must NOT churn the fingerprint.
+    let commented = original.replace("// format-region(fixture, v1): begin", "// format-region(fixture, v1): begin — reworded note");
+    let files = [SourceFile::from_content("fixtures/format_region.rs", &commented)];
+    let (v, _) = formats::check(&files, Some(&blessed));
+    assert!(v.is_empty(), "comment edits are format-neutral: {v:#?}");
+
+    // A code edit without a version bump is the bug this check exists
+    // to stop.
+    let edited = original.replace("to_le_bytes", "to_be_bytes");
+    assert_ne!(edited, original, "fixture must contain the endianness call");
+    let files = [SourceFile::from_content("fixtures/format_region.rs", &edited)];
+    let (v, _) = formats::check(&files, Some(&blessed));
+    assert_one_mentioning(&v, "changed without a version bump");
+
+    // The same edit WITH a bump asks for a re-bless instead...
+    let bumped = edited.replace("format-region(fixture, v1): begin", "format-region(fixture, v2): begin");
+    let files = [SourceFile::from_content("fixtures/format_region.rs", &bumped)];
+    let (v, reblessed) = formats::check(&files, Some(&blessed));
+    assert_one_mentioning(&v, "--bless-formats");
+    // ...after which the tree is clean again.
+    let (v, _) = formats::check(&files, Some(&reblessed));
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn format_region_marker_mismatches_fail() {
+    let unclosed = "// format-region(x, v1): begin\nconst A: u32 = 1;\n";
+    let files = [SourceFile::from_content("fixtures/unclosed.rs", unclosed)];
+    let (v, _) = formats::check(&files, None);
+    assert!(v.iter().any(|v| v.message.contains("never closed")), "{v:#?}");
+
+    let stray = "const A: u32 = 1;\n// format-region(x): end\n";
+    let files = [SourceFile::from_content("fixtures/stray.rs", stray)];
+    let (v, _) = formats::check(&files, None);
+    assert!(v.iter().any(|v| v.message.contains("end without a begin")), "{v:#?}");
+}
+
+// ---- unsafe confinement ---------------------------------------------------
+
+#[test]
+fn unsafe_outside_the_boundary_fails() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = [fixture("unsafe_unconfined.rs")];
+    let v = unsafe_confine::check(repo, &files, &[], &[]);
+    assert_one_mentioning(&v, "outside the allowlisted boundary");
+}
+
+#[test]
+fn allowlisted_unsafe_passes_and_stale_entries_fail() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = [fixture("unsafe_unconfined.rs"), fixture("ordering_good.rs")];
+
+    let v = unsafe_confine::check(repo, &files, &["fixtures/unsafe_unconfined.rs"], &[]);
+    assert!(v.is_empty(), "{v:#?}");
+
+    // ordering_good.rs has no unsafe: listing it is a stale entry.
+    let v = unsafe_confine::check(
+        repo,
+        &files,
+        &["fixtures/unsafe_unconfined.rs", "fixtures/ordering_good.rs"],
+        &[],
+    );
+    assert_one_mentioning(&v, "stale UNSAFE_ALLOWLIST entry");
+}
+
+#[test]
+fn lost_forbid_attribute_fails() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    // src/scanner.rs exists but (deliberately) has no crate-level
+    // forbid of its own — a stand-in for a root that lost the attribute.
+    let v = unsafe_confine::check(repo, &[], &[], &["src/scanner.rs"]);
+    assert_one_mentioning(&v, "forbid(unsafe_code)");
+    // And the real lib root still carries it.
+    let v = unsafe_confine::check(repo, &[], &[], &["src/lib.rs"]);
+    assert!(v.is_empty(), "{v:#?}");
+}

@@ -1,0 +1,20 @@
+//! The gate: the real repository must lint clean. Runs every check —
+//! annotation audits, hierarchy drift, std-sync ban, trace coverage,
+//! format fingerprints, unsafe confinement — over the actual tree, so
+//! `cargo test` fails the moment any invariant regresses.
+
+use std::path::Path;
+
+#[test]
+fn repository_lints_clean() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the repo root");
+    let violations = ipregel_lint::run(repo, false).expect("lint run failed");
+    assert!(
+        violations.is_empty(),
+        "the tree must lint clean; run `cargo run -p ipregel-lint --offline` for details:\n{}",
+        violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -30,9 +30,11 @@
 //! through its `IndexedParallelIterator` trait; here it is documented
 //! instead of typed).
 
+#![forbid(unsafe_code)]
+
+use crate::lockorder::{classes, OrderedMutex};
 use crate::pool;
 use std::ops::Range;
-use std::sync::Mutex;
 
 /// Chunks per worker thread; matches the engine chunk planner's
 /// oversubscription factor so one `scope` task maps to one plan chunk.
@@ -68,14 +70,21 @@ where
     if bounds.is_empty() {
         return Vec::new();
     }
-    let slots: Vec<Mutex<Option<R>>> = bounds.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<OrderedMutex<Option<R>>> =
+        bounds.iter().map(|_| OrderedMutex::new(&classes::POOL_RESULT, None)).collect();
     {
         let run = &run;
         let slots = &slots;
         pool::scope(|s| {
             for (ci, range) in bounds.into_iter().enumerate() {
                 s.spawn(move |_| {
-                    *slots[ci].lock().expect("chunk slot poisoned") = Some(run(range));
+                    // Evaluate the chunk *before* taking the slot lock:
+                    // user closures must never run while a pool.result
+                    // lock is held (nested scopes inside `run` would
+                    // trip the lock-order detector, and rightly so).
+                    let out = run(range);
+                    // lock-order(pool.result)
+                    *slots[ci].lock().expect("chunk slot poisoned") = Some(out);
                 });
             }
         });
@@ -535,9 +544,11 @@ mod tests {
         let total = 1000usize;
         (0..total).into_par_iter().for_each(|_| {
             if pool::current_thread_index().is_some() {
+                // ordering(Relaxed): test tally; for_each exit synchronizes
                 on_worker.fetch_add(1, Ordering::Relaxed);
             }
         });
+        // ordering(Relaxed): read after the parallel call returned
         assert_eq!(on_worker.load(Ordering::Relaxed), total, "no chunk ran off-pool");
     }
 

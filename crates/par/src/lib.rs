@@ -45,6 +45,11 @@ compile_error!(
 mod padded;
 pub use padded::CachePadded;
 
+// Backend-independent: the lock-hierarchy classes and the runtime
+// lock-order detector (armed by the `lock-order` feature) apply to the
+// client crates' locks whichever pool executes them.
+pub mod lockorder;
+
 // When both features are on (e.g. `--all-features`), rayon wins: the
 // point of the switch is comparing the real thing against the in-tree
 // pool, so "rayon requested" must mean rayon delivered.

@@ -2,6 +2,8 @@
 //! the two sharded structures (`Tracer`, `Worklist`) that use it to
 //! keep per-worker shards off each other's cache lines.
 
+#![forbid(unsafe_code)]
+
 /// Pads and aligns `T` to the cache-line size so adjacent array slots
 /// never share a line (false sharing).
 ///

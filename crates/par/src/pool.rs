@@ -42,11 +42,13 @@
 //! panic-in-task and borrow-heavy workloads) and the suite runs under
 //! Miri via `tools/miri-test.sh`.
 
+use crate::lockorder::{classes, OrderedMutex};
+
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, OnceLock};
 use std::thread::JoinHandle;
 
 /// A queued task, lifetime-erased (see the module-level safety model).
@@ -54,7 +56,7 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Shared state of one pool.
 struct PoolInner {
-    state: Mutex<PoolState>,
+    state: OrderedMutex<PoolState>,
     /// Signalled on job arrival, scope completion, and shutdown; waited
     /// on by idle workers and by workers helping a scope drain.
     cv: Condvar,
@@ -68,6 +70,7 @@ struct PoolState {
 
 impl PoolInner {
     fn push(&self, job: Job) {
+        // lock-order(pool.state)
         let mut st = self.state.lock().expect("pool state poisoned");
         st.queue.push_back(job);
         // notify_all, not notify_one: a wakeup may land on a worker that
@@ -79,6 +82,7 @@ impl PoolInner {
 
     /// Wake everything (scope completed or shutdown requested).
     fn wake_all(&self) {
+        // lock-order(pool.state)
         let _guard = self.state.lock().expect("pool state poisoned");
         self.cv.notify_all();
     }
@@ -88,44 +92,51 @@ impl PoolInner {
 struct ScopeLatch {
     pool: Arc<PoolInner>,
     /// Tasks spawned and not yet finished.
-    pending: Mutex<usize>,
+    pending: OrderedMutex<usize>,
     /// Signalled when `pending` reaches zero; waited on by non-worker
     /// scope callers (workers wait on the pool's cv and help instead).
     done_cv: Condvar,
     /// First panic payload captured from a task.
-    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    panic: OrderedMutex<Option<Box<dyn Any + Send>>>,
 }
 
 impl ScopeLatch {
     fn new(pool: Arc<PoolInner>) -> Arc<Self> {
         Arc::new(ScopeLatch {
             pool,
-            pending: Mutex::new(0),
+            pending: OrderedMutex::new(&classes::POOL_LATCH, 0),
             done_cv: Condvar::new(),
-            panic: Mutex::new(None),
+            panic: OrderedMutex::new(&classes::POOL_PANIC, None),
         })
     }
 
     fn add_task(&self) {
+        // lock-order(pool.latch)
         *self.pending.lock().expect("latch poisoned") += 1;
     }
 
     fn finish_task(&self) {
+        // lock-order(pool.latch)
         let mut pending = self.pending.lock().expect("latch poisoned");
         *pending -= 1;
         if *pending == 0 {
             drop(pending);
             self.done_cv.notify_all();
-            // Helping workers wait on the pool cv, not ours.
+            // Helping workers wait on the pool cv, not ours. The latch
+            // guard is dropped first: pool.state ranks *below* the latch
+            // in the lock hierarchy, so holding the latch here would be
+            // an inversion against `wait_helping`.
             self.pool.wake_all();
         }
     }
 
     fn is_done(&self) -> bool {
+        // lock-order(pool.latch)
         *self.pending.lock().expect("latch poisoned") == 0
     }
 
     fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        // lock-order(pool.panic)
         let mut slot = self.panic.lock().expect("latch panic slot poisoned");
         if slot.is_none() {
             *slot = Some(payload);
@@ -141,9 +152,10 @@ impl ScopeLatch {
                 return;
             }
         }
+        // lock-order(pool.latch)
         let mut pending = self.pending.lock().expect("latch poisoned");
         while *pending > 0 {
-            pending = self.done_cv.wait(pending).expect("latch poisoned");
+            pending = pending.wait_on(&self.done_cv).expect("latch poisoned");
         }
     }
 
@@ -156,6 +168,9 @@ impl ScopeLatch {
     /// inside the wait.
     fn wait_helping(&self) {
         loop {
+            // lock-order(pool.state) — `is_done` below then nests
+            // pool.latch inside pool.state, the one intentional nesting
+            // in the runtime (and why pool.state ranks lowest).
             let mut st = self.pool.state.lock().expect("pool state poisoned");
             loop {
                 if let Some(job) = st.queue.pop_front() {
@@ -166,7 +181,7 @@ impl ScopeLatch {
                 if self.is_done() {
                     return;
                 }
-                st = self.pool.cv.wait(st).expect("pool state poisoned");
+                st = st.wait_on(&self.pool.cv).expect("pool state poisoned");
             }
         }
     }
@@ -283,7 +298,10 @@ impl ThreadPoolBuilder {
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = self.num_threads.unwrap_or_else(default_num_threads).max(1);
         let inner = Arc::new(PoolInner {
-            state: Mutex::new(PoolState { queue: VecDeque::new(), shutdown: false }),
+            state: OrderedMutex::new(
+                &classes::POOL_STATE,
+                PoolState { queue: VecDeque::new(), shutdown: false },
+            ),
             cv: Condvar::new(),
             num_threads: n,
         });
@@ -305,6 +323,7 @@ fn worker_loop(pool: Arc<PoolInner>, index: usize) {
     WORKER_POOL_ARC.with(|c| *c.borrow_mut() = Some(Arc::clone(&pool)));
     loop {
         let job = {
+            // lock-order(pool.state)
             let mut st = pool.state.lock().expect("pool state poisoned");
             loop {
                 if let Some(job) = st.queue.pop_front() {
@@ -313,7 +332,7 @@ fn worker_loop(pool: Arc<PoolInner>, index: usize) {
                 if st.shutdown {
                     return;
                 }
-                st = pool.cv.wait(st).expect("pool state poisoned");
+                st = st.wait_on(&pool.cv).expect("pool state poisoned");
             }
         };
         // Jobs are panic-wrapped at spawn time (the payload lands in the
@@ -362,14 +381,20 @@ impl ThreadPool {
             }
         }
         let latch = ScopeLatch::new(Arc::clone(&self.inner));
-        let result: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
+        let result: Arc<OrderedMutex<Option<R>>> =
+            Arc::new(OrderedMutex::new(&classes::POOL_RESULT, None));
         latch.add_task();
         {
             let latch = Arc::clone(&latch);
             let result = Arc::clone(&result);
             let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                // `f` runs *before* the result lock is taken: user code
+                // never executes while a pool.result lock is held, so
+                // recursive scopes/joins inside `f` start from an empty
+                // held-lock stack.
                 let out = catch_unwind(AssertUnwindSafe(f));
                 match out {
+                    // lock-order(pool.result)
                     Ok(v) => *result.lock().expect("install result poisoned") = Some(v),
                     Err(payload) => latch.record_panic(payload),
                 }
@@ -385,9 +410,11 @@ impl ThreadPool {
             self.inner.push(job);
         }
         latch.wait();
+        // lock-order(pool.panic)
         if let Some(payload) = latch.panic.lock().expect("latch panic slot poisoned").take() {
             resume_unwind(payload);
         }
+        // lock-order(pool.result)
         let v = result.lock().expect("install result poisoned").take();
         v.expect("install job finished without a result or a panic")
     }
@@ -396,6 +423,7 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
+            // lock-order(pool.state)
             let mut st = self.inner.state.lock().expect("pool state poisoned");
             st.shutdown = true;
         }
@@ -459,6 +487,7 @@ where
     let s = Scope { latch: Arc::clone(&latch), _marker: std::marker::PhantomData };
     let result = catch_unwind(AssertUnwindSafe(|| op(&s)));
     latch.wait();
+    // lock-order(pool.panic)
     if let Some(payload) = latch.panic.lock().expect("latch panic slot poisoned").take() {
         resume_unwind(payload);
     }
@@ -480,12 +509,18 @@ where
     RA: Send,
     RB: Send,
 {
-    let rb: Mutex<Option<RB>> = Mutex::new(None);
+    let rb: OrderedMutex<Option<RB>> = OrderedMutex::new(&classes::POOL_RESULT, None);
     let ra = {
         let rb = &rb;
         scope(|s| {
             s.spawn(move |_| {
-                *rb.lock().expect("join result poisoned") = Some(b());
+                // Run `b` to completion *before* taking the result lock:
+                // recursive joins inside `b` (par_sort's split tree)
+                // would otherwise nest pool.result inside pool.result —
+                // same-class nesting, which the detector rejects.
+                let v = b();
+                // lock-order(pool.result)
+                *rb.lock().expect("join result poisoned") = Some(v);
             });
             a()
         })
@@ -516,10 +551,12 @@ mod tests {
         scope(|s| {
             for _ in 0..n {
                 s.spawn(|_| {
+                    // ordering(Relaxed): test tally; scope exit synchronizes
                     counter.fetch_add(1, Ordering::Relaxed);
                 });
             }
         });
+        // ordering(Relaxed): read after scope join, no concurrent writers
         assert_eq!(counter.load(Ordering::Relaxed), n);
     }
 
@@ -536,6 +573,7 @@ mod tests {
                         scope(|inner| {
                             for _ in 0..4 {
                                 inner.spawn(|_| {
+                                    // ordering(Relaxed): test tally; scope exit synchronizes
                                     counter.fetch_add(1, Ordering::Relaxed);
                                 });
                             }
@@ -543,6 +581,7 @@ mod tests {
                     });
                 }
             });
+            // ordering(Relaxed): read after scope join, no concurrent writers
             counter.load(Ordering::Relaxed)
         });
         assert_eq!(total, 16);
@@ -559,20 +598,24 @@ mod tests {
                         if i == 3 {
                             panic!("task 3 exploded");
                         }
+                        // ordering(Relaxed): test tally; scope exit synchronizes
                         finished.fetch_add(1, Ordering::Relaxed);
                     });
                 }
             });
         }));
         assert!(result.is_err());
+        // ordering(Relaxed): read after scope join, no concurrent writers
         assert_eq!(finished.load(Ordering::Relaxed), 7, "siblings drained");
         // The pool survives: new work still runs.
         let after = AtomicUsize::new(0);
         scope(|s| {
             s.spawn(|_| {
+                // ordering(Relaxed): test tally; scope exit synchronizes
                 after.fetch_add(1, Ordering::Relaxed);
             });
         });
+        // ordering(Relaxed): read after scope join, no concurrent writers
         assert_eq!(after.load(Ordering::Relaxed), 1);
     }
 
@@ -601,7 +644,7 @@ mod tests {
     #[test]
     fn worker_indices_are_dense_and_stable() {
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
-        let seen = Mutex::new(std::collections::HashSet::new());
+        let seen = OrderedMutex::new(&classes::POOL_RESULT, std::collections::HashSet::new());
         pool.install(|| {
             scope(|s| {
                 for _ in 0..64 {
@@ -609,6 +652,7 @@ mod tests {
                     s.spawn(move |_| {
                         let idx = current_thread_index().expect("task on a worker");
                         assert!(idx < 4);
+                        // lock-order(pool.result)
                         seen.lock().unwrap().insert(idx);
                         // An index observed twice within one closure must
                         // be identical: the task never migrates.
@@ -617,6 +661,7 @@ mod tests {
                 }
             });
         });
+        // lock-order(pool.result)
         assert!(!seen.lock().unwrap().is_empty());
     }
 

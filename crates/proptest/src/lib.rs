@@ -20,6 +20,8 @@
 //! `collection::vec`, `option::of`, and the `proptest!` /
 //! `prop_assert*!` / `prop_assume!` macros.
 
+#![forbid(unsafe_code)]
+
 #[cfg(feature = "real")]
 pub use proptest_real::*;
 
