@@ -88,11 +88,41 @@ impl FromStr for Schedule {
 /// wastes planning and accounting work.
 pub(crate) const CHUNKS_PER_THREAD: usize = 4;
 
-/// [`Schedule`] with [`Schedule::Adaptive`] collapsed to a concrete cut.
+/// Extra over-partitioning multiplier for plans that expect stealing to
+/// do real rebalancing — currently plans the adaptive policy resolved
+/// to edge-balanced on a skew-probed graph. Finer chunks give thieves
+/// more units to move; the product `CHUNKS_PER_THREAD ×
+/// OVERPARTITION_FACTOR` must stay ≤ the `ipregel-par` iterator
+/// facade's own chunks-per-thread cap (8) so one scope task keeps
+/// mapping to one plan chunk.
+pub(crate) const OVERPARTITION_FACTOR: usize = 2;
+
+// iter.rs plans `threads × 8` scope tasks; a plan finer than that would
+// coalesce chunks and break the 1 task : 1 chunk mapping.
+const _: () = assert!(CHUNKS_PER_THREAD * OVERPARTITION_FACTOR <= 8);
+
+/// How a [`Resolved`] schedule cuts the active list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Resolved {
+pub(crate) enum Cut {
     VertexBalanced,
     EdgeBalanced,
+}
+
+/// [`Schedule`] with [`Schedule::Adaptive`] collapsed to a concrete cut
+/// plus the over-partitioning the resolution chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Resolved {
+    pub cut: Cut,
+    /// Multiplier on [`max_chunks`] when planning (1 = no
+    /// over-partitioning).
+    pub overpartition: usize,
+}
+
+impl Resolved {
+    pub(crate) const VERTEX_BALANCED: Resolved =
+        Resolved { cut: Cut::VertexBalanced, overpartition: 1 };
+    pub(crate) const EDGE_BALANCED: Resolved =
+        Resolved { cut: Cut::EdgeBalanced, overpartition: 1 };
 }
 
 /// Chunks to cut for the current thread pool. Engines call this inside
@@ -111,8 +141,8 @@ pub(crate) fn max_chunks() -> usize {
 /// offsets once, O(|V|), amortised over the whole run.
 pub(crate) fn resolve(schedule: Schedule, csr: &Csr, max_chunks: usize) -> Resolved {
     match schedule {
-        Schedule::VertexBalanced => Resolved::VertexBalanced,
-        Schedule::EdgeBalanced => Resolved::EdgeBalanced,
+        Schedule::VertexBalanced => Resolved::VERTEX_BALANCED,
+        Schedule::EdgeBalanced => Resolved::EDGE_BALANCED,
         Schedule::Adaptive => {
             let offsets = csr.offsets();
             let max_weight = offsets
@@ -123,20 +153,31 @@ pub(crate) fn resolve(schedule: Schedule, csr: &Csr, max_chunks: usize) -> Resol
             let total = csr.num_edges() + csr.num_slots() as u64;
             let ideal = (total / max_chunks.max(1) as u64).max(1);
             if max_weight > 2 * ideal {
-                Resolved::EdgeBalanced
+                // The probe found real skew, which also means residual
+                // imbalance after the cut (an unsplittable hub chunk):
+                // over-partition so the pool's work-stealing has finer
+                // chunks to rebalance with.
+                Resolved { cut: Cut::EdgeBalanced, overpartition: OVERPARTITION_FACTOR }
             } else {
-                Resolved::VertexBalanced
+                Resolved::VERTEX_BALANCED
             }
         }
     }
 }
 
 /// One superstep's chunk plan: contiguous runs of positions in the active
-/// list, plus each chunk's planned edge weight (for
+/// list, plus each chunk's planned weight (for
 /// [`crate::metrics::LoadStats`]).
 #[derive(Debug)]
 pub(crate) struct Plan {
     pub chunks: Vec<Chunk>,
+    /// Planned weight per chunk in the cut's own unit — `degree + 1`
+    /// per vertex, the same weight [`ipregel_graph::schedule`] balances
+    /// — so recorded imbalance measures the planner against its own
+    /// objective. (Before the work-stealing pool landed this recorded
+    /// raw edge counts, which over-reported hub imbalance: an
+    /// unsplittable hub chunk was compared against a mean that ignored
+    /// per-vertex costs.)
     pub chunk_edges: Vec<u64>,
 }
 
@@ -155,23 +196,26 @@ pub(crate) fn plan(
     csr: &Csr,
     grain: Option<usize>,
 ) -> Plan {
-    let max_chunks = max_chunks();
+    let max_chunks = max_chunks() * resolved.overpartition.max(1);
     let min_len = grain.unwrap_or(1).max(1);
     let full_range = active.len() == slots;
-    let chunks = match resolved {
-        Resolved::VertexBalanced => count_balanced(active.len(), max_chunks, min_len),
-        Resolved::EdgeBalanced if full_range => edge_balanced_range(csr, max_chunks, min_len),
-        Resolved::EdgeBalanced => {
+    let chunks = match resolved.cut {
+        Cut::VertexBalanced => count_balanced(active.len(), max_chunks, min_len),
+        Cut::EdgeBalanced if full_range => edge_balanced_range(csr, max_chunks, min_len),
+        Cut::EdgeBalanced => {
             edge_balanced_list(active, |v| u64::from(csr.degree(v)), max_chunks, min_len)
         }
     };
     let offsets = csr.offsets();
     let chunk_edges = if full_range {
-        chunks.iter().map(|c| offsets[c.end] - offsets[c.start]).collect()
+        chunks
+            .iter()
+            .map(|c| offsets[c.end] - offsets[c.start] + (c.end - c.start) as u64)
+            .collect()
     } else {
         chunks
             .iter()
-            .map(|c| active[c.start..c.end].iter().map(|&v| u64::from(csr.degree(v))).sum())
+            .map(|c| active[c.start..c.end].iter().map(|&v| u64::from(csr.degree(v)) + 1).sum())
             .collect()
     };
     Plan { chunks, chunk_edges }
@@ -209,17 +253,40 @@ mod tests {
 
     #[test]
     fn adaptive_resolves_by_skew() {
-        // Near-uniform: stays vertex-balanced.
+        // Near-uniform: stays vertex-balanced, no over-partitioning.
         let flat = csr_of(&[3; 64]);
-        assert_eq!(resolve(Schedule::Adaptive, &flat, 8), Resolved::VertexBalanced);
-        // One hub dominating the ideal chunk: switches.
+        assert_eq!(resolve(Schedule::Adaptive, &flat, 8), Resolved::VERTEX_BALANCED);
+        // One hub dominating the ideal chunk: switches to edge-balanced
+        // *and* over-partitions so stealing can rebalance the residue.
         let mut degrees = [1u32; 64];
         degrees[10] = 1000;
         let skewed = csr_of(&degrees);
-        assert_eq!(resolve(Schedule::Adaptive, &skewed, 8), Resolved::EdgeBalanced);
+        assert_eq!(
+            resolve(Schedule::Adaptive, &skewed, 8),
+            Resolved { cut: Cut::EdgeBalanced, overpartition: OVERPARTITION_FACTOR }
+        );
         // The explicit policies resolve to themselves regardless of shape.
-        assert_eq!(resolve(Schedule::VertexBalanced, &skewed, 8), Resolved::VertexBalanced);
-        assert_eq!(resolve(Schedule::EdgeBalanced, &flat, 8), Resolved::EdgeBalanced);
+        assert_eq!(resolve(Schedule::VertexBalanced, &skewed, 8), Resolved::VERTEX_BALANCED);
+        assert_eq!(resolve(Schedule::EdgeBalanced, &flat, 8), Resolved::EDGE_BALANCED);
+    }
+
+    #[test]
+    fn overpartitioned_plans_are_finer() {
+        let mut degrees = [1u32; 512];
+        degrees[40] = 4000;
+        let csr = csr_of(&degrees);
+        let active: Vec<u32> = (0..512).collect();
+        let base = plan(Resolved::EDGE_BALANCED, &active, 512, &csr, None);
+        let fine = plan(
+            Resolved { cut: Cut::EdgeBalanced, overpartition: OVERPARTITION_FACTOR },
+            &active,
+            512,
+            &csr,
+            None,
+        );
+        assert!(fine.chunks.len() > base.chunks.len(), "{} vs {}", fine.chunks.len(), base.chunks.len());
+        let total: u64 = fine.chunk_edges.iter().sum();
+        assert_eq!(total, csr.num_edges() + 512, "finer plan still covers every vertex's weight");
     }
 
     #[test]
@@ -228,13 +295,14 @@ mod tests {
         degrees[7] = 100;
         let csr = csr_of(&degrees);
         let active: Vec<u32> = (0..40).collect();
-        for resolved in [Resolved::VertexBalanced, Resolved::EdgeBalanced] {
+        for resolved in [Resolved::VERTEX_BALANCED, Resolved::EDGE_BALANCED] {
             let p = plan(resolved, &active, 40, &csr, None);
             assert_eq!(p.chunks.len(), p.chunk_edges.len());
             assert_eq!(p.chunks.first().unwrap().start, 0);
             assert_eq!(p.chunks.last().unwrap().end, 40);
+            // Recorded weight = edges + one unit of per-vertex cost.
             let total: u64 = p.chunk_edges.iter().sum();
-            assert_eq!(total, csr.num_edges(), "{resolved:?}");
+            assert_eq!(total, csr.num_edges() + 40, "{resolved:?}");
         }
     }
 
@@ -245,9 +313,9 @@ mod tests {
         let csr = csr_of(&degrees);
         // Active subset excludes the hub entirely.
         let active: Vec<u32> = (0..40).filter(|&v| v != 7).step_by(2).collect();
-        let p = plan(Resolved::EdgeBalanced, &active, 40, &csr, None);
+        let p = plan(Resolved::EDGE_BALANCED, &active, 40, &csr, None);
         let total: u64 = p.chunk_edges.iter().sum();
-        let expect: u64 = active.iter().map(|&v| u64::from(csr.degree(v))).sum();
+        let expect: u64 = active.iter().map(|&v| u64::from(csr.degree(v)) + 1).sum();
         assert_eq!(total, expect);
         let covered: usize = p.chunks.iter().map(|c| c.end - c.start).sum();
         assert_eq!(covered, active.len());
@@ -257,7 +325,7 @@ mod tests {
     fn grain_bounds_chunk_count_in_plans() {
         let csr = csr_of(&[1; 100]);
         let active: Vec<u32> = (0..100).collect();
-        let p = plan(Resolved::EdgeBalanced, &active, 100, &csr, Some(50));
+        let p = plan(Resolved::EDGE_BALANCED, &active, 100, &csr, Some(50));
         assert!(p.chunks.len() <= 2, "{:?}", p.chunks);
     }
 }

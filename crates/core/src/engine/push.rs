@@ -211,7 +211,10 @@ where
         trace::emit_sync(tracer, || TraceEvent::SuperstepBegin { superstep: superstep as u64 });
         let t0 = Instant::now();
         let plan = chunks::plan(schedule, &active, slots, out_csr, config.grain);
-        let per_chunk: Vec<Result<(u64, Duration), ChunkPanic>> = {
+        // Scheduler counters: the delta across this superstep's parallel
+        // region is what the `pool` trace event and LoadStats report.
+        let pool_before = ipregel_par::current_pool_stats();
+        let per_chunk: Vec<Result<(u64, Duration, u64), ChunkPanic>> = {
             let values_view = SharedSlice::new(&mut values);
             let halted_view = SharedSlice::new(&mut halted);
             let next_ref: &[MB] = &next;
@@ -257,6 +260,10 @@ where
                             sent += ctx.sent;
                         }
                         let elapsed = c_t0.elapsed();
+                        // Which worker ran the chunk: under stealing this
+                        // is timing-dependent, so it is measured here.
+                        let worker =
+                            ipregel_par::current_thread_index().unwrap_or(0) as u64;
                         // Worker-side record: lands in this worker's
                         // shard, drained in chunk order at the barrier.
                         let delta = trace::contention::snapshot().delta_since(&cont0);
@@ -268,8 +275,9 @@ where
                             lock_acquisitions: delta.lock_acquisitions,
                             cas_retries: delta.cas_retries,
                             spin_iterations: delta.spin_iterations,
+                            worker,
                         });
-                        (sent, elapsed)
+                        (sent, elapsed, worker)
                     }))
                     .map_err(|payload| ChunkPanic {
                         chunk: ci,
@@ -283,14 +291,17 @@ where
                 })
                 .collect()
         };
+        let pool_after = ipregel_par::current_pool_stats();
         let mut sent = 0u64;
         let mut chunk_durations = Vec::with_capacity(per_chunk.len());
+        let mut chunk_workers = Vec::with_capacity(per_chunk.len());
         let mut first_panic: Option<ChunkPanic> = None;
         for r in per_chunk {
             match r {
-                Ok((s, d)) => {
+                Ok((s, d, w)) => {
                     sent += s;
                     chunk_durations.push(d);
+                    chunk_workers.push(w);
                 }
                 Err(p) if first_panic.is_none() => first_panic = Some(p),
                 Err(_) => {}
@@ -312,12 +323,27 @@ where
             messages_sent: sent,
             duration: t0.elapsed() + selection_duration,
             selection_duration,
-            load: Some(LoadStats { chunk_edges: plan.chunk_edges, chunk_durations }),
+            load: Some(LoadStats {
+                chunk_edges: plan.chunk_edges,
+                chunk_durations,
+                chunk_workers,
+                steals: pool_after.steals - pool_before.steals,
+                overflow: pool_after.overflow - pool_before.overflow,
+            }),
         });
 
         // Barrier: drain the workers' chunk events into the log (in
         // chunk order) before closing the superstep span.
         trace::barrier(tracer, superstep);
+        trace::emit_sync(tracer, || {
+            let s = stats.supersteps.last().expect("pushed above");
+            let load = s.load.as_ref().expect("parallel engine records load");
+            TraceEvent::Pool {
+                superstep: s.superstep as u64,
+                steals: load.steals,
+                overflow: load.overflow,
+            }
+        });
         trace::emit_sync(tracer, || {
             let s = stats.supersteps.last().expect("pushed above");
             TraceEvent::SuperstepEnd {

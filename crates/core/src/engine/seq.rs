@@ -195,18 +195,28 @@ pub fn try_run_sequential_recoverable<P: VertexProgram>(
             selection_duration: std::time::Duration::ZERO,
             // Single-threaded: the whole superstep is one chunk, the
             // trivial (and trivially balanced) case of the schedulers.
-            load: Some(LoadStats { chunk_edges: vec![edges], chunk_durations: vec![duration] }),
+            // Weight matches the parallel planners' unit: edges visited
+            // plus one per active vertex.
+            load: Some(LoadStats {
+                chunk_edges: vec![edges + active],
+                chunk_durations: vec![duration],
+                // No pool involved: the one chunk runs on the caller.
+                chunk_workers: vec![0],
+                steals: 0,
+                overflow: 0,
+            }),
         });
         // Single-threaded: the orchestrator emits the whole span itself
         // (one implicit chunk; barrier still samples RSS on cadence).
         trace::emit_sync(tracer, || TraceEvent::Chunk {
             superstep: superstep as u64,
             chunk: 0,
-            planned_edges: edges,
+            planned_edges: edges + active,
             duration_ns: trace::ns(duration),
             lock_acquisitions: 0,
             cas_retries: 0,
             spin_iterations: 0,
+            worker: 0,
         });
         trace::barrier(tracer, superstep);
         trace::emit_sync(tracer, || TraceEvent::SuperstepEnd {

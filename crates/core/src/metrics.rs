@@ -36,20 +36,32 @@ crate::impl_to_json!(SuperstepStats { superstep, active, messages_sent, duration
 /// Per-chunk load accounting for one superstep's compute phase.
 ///
 /// The two vectors are parallel: chunk `i` was *planned* to carry
-/// `chunk_edges[i]` edges (its vertices' degrees in the direction the
-/// engine walks — out for push, in for pull) and *measured* to take
+/// `chunk_edges[i]` weight (degree + 1 per vertex, in the direction the
+/// engine walks — out for push, in for pull; the same unit
+/// [`ipregel_graph::schedule`] balances) and *measured* to take
 /// `chunk_durations[i]` of wall-clock. Planned weight is deterministic,
 /// so tests assert on [`LoadStats::edge_imbalance`]; duration is the
 /// ground truth the scheduling bench reports.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LoadStats {
-    /// Planned edge weight of each chunk.
+    /// Planned weight of each chunk (edges + one unit per vertex).
     pub chunk_edges: Vec<u64>,
     /// Measured wall-clock of each chunk's compute loop.
     pub chunk_durations: Vec<Duration>,
+    /// Pool worker index that executed each chunk (parallel with the
+    /// other two vectors). Under work-stealing any worker may run any
+    /// chunk, so the mapping is measured, not planned; all zeros for
+    /// the sequential engine.
+    pub chunk_workers: Vec<u64>,
+    /// Work-stealing steals during this superstep's parallel region
+    /// (delta of `ipregel_par::current_pool_stats().steals` across it).
+    pub steals: u64,
+    /// Jobs routed through the pool's overflow injector during this
+    /// superstep's parallel region.
+    pub overflow: u64,
 }
 
-crate::impl_to_json!(LoadStats { chunk_edges, chunk_durations });
+crate::impl_to_json!(LoadStats { chunk_edges, chunk_durations, chunk_workers, steals, overflow });
 
 impl LoadStats {
     /// Number of chunks the superstep was cut into.
@@ -70,6 +82,27 @@ impl LoadStats {
     /// the schedule left on the table.
     pub fn duration_imbalance(&self) -> f64 {
         ratio_max_mean(self.chunk_durations.iter().map(Duration::as_secs_f64))
+    }
+
+    /// Max/mean ratio of per-**worker** planned edge weight: chunk
+    /// weights grouped by the worker that actually executed each chunk
+    /// ([`LoadStats::chunk_workers`]). Where [`LoadStats::edge_imbalance`]
+    /// measures the balance the *plan* allowed (its worst single chunk),
+    /// this measures the balance the scheduler *achieved* after
+    /// work-stealing moved chunks between workers. Edge weights rather
+    /// than durations keep it robust to timer noise. Returns 1.0 for
+    /// degenerate inputs (no workers, no chunks, zero weight, or no
+    /// recorded worker mapping).
+    pub fn worker_edge_imbalance(&self, num_workers: usize) -> f64 {
+        if num_workers == 0 || self.chunk_workers.len() != self.chunk_edges.len() {
+            return 1.0;
+        }
+        let mut per_worker = vec![0u64; num_workers];
+        for (&w, &e) in self.chunk_workers.iter().zip(&self.chunk_edges) {
+            let w = usize::try_from(w).unwrap_or(usize::MAX).min(num_workers - 1);
+            per_worker[w] += e;
+        }
+        ratio_max_mean(per_worker.iter().map(|&e| e as f64))
     }
 }
 
@@ -193,6 +226,49 @@ impl RunStats {
                 return Err(format!(
                     "superstep {superstep}: trace chunks {chunks}, stats {stat_chunks}"
                 ));
+            }
+        }
+        // Scheduler counters: every `pool` event must mirror its
+        // superstep's LoadStats steal/overflow deltas (both sides are
+        // snapshots of the same pool counters around the same region).
+        for e in events {
+            if let TraceEvent::Pool { superstep, steals, overflow } = *e {
+                let Some(s) = self.supersteps.iter().find(|s| s.superstep as u64 == superstep)
+                else {
+                    return Err(format!("pool event for superstep {superstep} with no stats entry"));
+                };
+                let Some(load) = s.load.as_ref() else {
+                    return Err(format!("pool event for superstep {superstep} without load stats"));
+                };
+                if load.steals != steals || load.overflow != overflow {
+                    return Err(format!(
+                        "superstep {superstep}: trace pool steals={steals} overflow={overflow}, \
+                         stats steals={} overflow={}",
+                        load.steals, load.overflow
+                    ));
+                }
+            }
+        }
+        // Chunk→worker attribution: each chunk event's worker must match
+        // the LoadStats mapping (same per-chunk records, two sinks).
+        for e in events {
+            if let TraceEvent::Chunk { superstep, chunk, worker, .. } = *e {
+                let load = self
+                    .supersteps
+                    .iter()
+                    .find(|s| s.superstep as u64 == superstep)
+                    .and_then(|s| s.load.as_ref());
+                if let Some(load) = load {
+                    let recorded = load.chunk_workers.get(chunk as usize).copied();
+                    if load.chunk_workers.len() == load.chunk_edges.len()
+                        && recorded != Some(worker)
+                    {
+                        return Err(format!(
+                            "superstep {superstep} chunk {chunk}: trace worker {worker}, \
+                             stats {recorded:?}"
+                        ));
+                    }
+                }
             }
         }
         Ok(())
@@ -332,6 +408,7 @@ mod tests {
         let even = LoadStats {
             chunk_edges: vec![10, 10, 10, 10],
             chunk_durations: vec![Duration::from_millis(5); 4],
+            ..Default::default()
         };
         assert_eq!(even.edge_imbalance(), 1.0);
         assert_eq!(even.duration_imbalance(), 1.0);
@@ -346,6 +423,7 @@ mod tests {
                 Duration::from_millis(1),
                 Duration::from_millis(2),
             ],
+            ..Default::default()
         };
         assert_eq!(hub.edge_imbalance(), 4.0);
         let d = hub.duration_imbalance();
@@ -356,8 +434,11 @@ mod tests {
     fn degenerate_imbalance_is_one() {
         assert_eq!(LoadStats::default().edge_imbalance(), 1.0);
         assert_eq!(LoadStats::default().duration_imbalance(), 1.0);
-        let zeros =
-            LoadStats { chunk_edges: vec![0, 0], chunk_durations: vec![Duration::ZERO; 2] };
+        let zeros = LoadStats {
+            chunk_edges: vec![0, 0],
+            chunk_durations: vec![Duration::ZERO; 2],
+            ..Default::default()
+        };
         assert_eq!(zeros.edge_imbalance(), 1.0);
         assert_eq!(zeros.duration_imbalance(), 1.0);
     }
@@ -372,9 +453,78 @@ mod tests {
         skewed.load = Some(LoadStats {
             chunk_edges: vec![30, 10],
             chunk_durations: vec![Duration::from_millis(3), Duration::from_millis(1)],
+            ..Default::default()
         });
         r.push(skewed);
         assert_eq!(r.worst_edge_imbalance(), 1.5);
         assert_eq!(r.worst_duration_imbalance(), 1.5);
+    }
+
+    #[test]
+    fn worker_edge_imbalance_groups_by_executing_worker() {
+        // Plan: 4 chunks of uneven weight. Workers 0 and 1 each ended up
+        // with 20 edges after stealing → perfectly balanced (1.0), even
+        // though the worst chunk alone gives edge_imbalance 1.5.
+        let l = LoadStats {
+            chunk_edges: vec![15, 5, 10, 10],
+            chunk_durations: vec![Duration::from_millis(1); 4],
+            chunk_workers: vec![0, 0, 1, 1],
+            ..Default::default()
+        };
+        assert_eq!(l.edge_imbalance(), 1.5);
+        assert_eq!(l.worker_edge_imbalance(2), 1.0);
+        // All chunks on worker 0 of 2 → max/mean = 40/20 = 2.0.
+        let skew = LoadStats { chunk_workers: vec![0, 0, 0, 0], ..l.clone() };
+        assert_eq!(skew.worker_edge_imbalance(2), 2.0);
+        // Degenerate shapes fall back to 1.0.
+        assert_eq!(l.worker_edge_imbalance(0), 1.0);
+        assert_eq!(LoadStats::default().worker_edge_imbalance(4), 1.0);
+    }
+
+    #[test]
+    fn reconcile_checks_pool_counters_and_worker_attribution() {
+        use crate::trace::TraceEvent;
+        let mut r = RunStats::default();
+        let mut s = step(0, 2, 3);
+        s.load = Some(LoadStats {
+            chunk_edges: vec![4, 6],
+            chunk_durations: vec![Duration::from_millis(1); 2],
+            chunk_workers: vec![1, 0],
+            steals: 1,
+            overflow: 2,
+        });
+        r.push(s);
+        let good = vec![
+            TraceEvent::Chunk {
+                superstep: 0,
+                chunk: 0,
+                planned_edges: 4,
+                duration_ns: 1,
+                lock_acquisitions: 0,
+                cas_retries: 0,
+                spin_iterations: 0,
+                worker: 1,
+            },
+            TraceEvent::Pool { superstep: 0, steals: 1, overflow: 2 },
+            TraceEvent::SuperstepEnd {
+                superstep: 0,
+                active: 2,
+                messages: 3,
+                duration_ns: 1,
+                selection_ns: 0,
+                chunks: 2,
+            },
+        ];
+        assert_eq!(r.reconcile_trace(&good), Ok(()));
+        // Wrong steal count → named divergence.
+        let mut bad_pool = good.clone();
+        bad_pool[1] = TraceEvent::Pool { superstep: 0, steals: 9, overflow: 2 };
+        assert!(r.reconcile_trace(&bad_pool).unwrap_err().contains("steals=9"));
+        // Wrong worker attribution → named divergence.
+        let mut bad_worker = good;
+        if let TraceEvent::Chunk { worker, .. } = &mut bad_worker[0] {
+            *worker = 0;
+        }
+        assert!(r.reconcile_trace(&bad_worker).unwrap_err().contains("worker 0"));
     }
 }

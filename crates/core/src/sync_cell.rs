@@ -234,9 +234,10 @@ mod tests {
     fn overlapping_get_mut_panics() {
         let mut data = vec![0u32; 4];
         let view = SharedSlice::new(&mut data);
-        // SAFETY: the second (contract-violating) borrow is what the
-        // checker must catch — it panics before any aliasing occurs.
+        // SAFETY: sole borrow of index 1 so far; the checker tags it.
         let _a = unsafe { view.get_mut(1) };
+        // SAFETY: the contract-violating borrow is what the checker
+        // must catch — it panics before any aliasing occurs.
         let _b = unsafe { view.get_mut(1) };
     }
 
@@ -246,9 +247,10 @@ mod tests {
     fn read_during_mutable_borrow_panics() {
         let mut data = vec![0u32; 4];
         let view = SharedSlice::new(&mut data);
-        // SAFETY: the read below violates the phase contract on
-        // purpose; the checker panics before the aliasing read.
+        // SAFETY: sole borrow of index 3 so far; the checker tags it.
         let _a = unsafe { view.get_mut(3) };
+        // SAFETY: this read violates the phase contract on purpose;
+        // the checker panics before the aliasing read happens.
         let _ = unsafe { view.get(3) };
     }
 

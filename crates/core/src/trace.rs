@@ -22,7 +22,9 @@
 //! superstep barrier the engine calls [`Tracer::barrier`], which drains
 //! the shards in chunk order into the log and takes a periodic RSS
 //! sample — so the per-superstep event order in the final trace is
-//! always `superstep_begin, chunk*, [rss], superstep_end`. Shards are
+//! always `superstep_begin, chunk*, [rss], [pool], superstep_end` (the
+//! `pool` scheduler-counter event is orchestrator-side, recorded after
+//! the barrier). Shards are
 //! bounded; events beyond the bound are counted in
 //! [`Tracer::dropped_events`] rather than allocating without limit.
 //!
@@ -43,8 +45,18 @@ use ipregel_par::CachePadded;
 
 /// Version of the JSONL trace schema. Bump when an event gains, loses,
 /// or reorders a field; `tests/trace_schema.rs` pins the byte-level
-/// encoding of version 1.
-pub const SCHEMA_VERSION: u32 = 1;
+/// encoding of the current version. History:
+///
+/// - **1** — initial schema (PR 4).
+/// - **2** — `chunk` gains a trailing `worker` field (which pool worker
+///   executed the chunk — under work-stealing this is no longer implied
+///   by the chunk index), and the `pool` event reports per-superstep
+///   steal/overflow counters. The decoder still reads version-1 files:
+///   `worker` defaults to 0 and `pool` events simply never appear.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Oldest schema version [`decode_line`] accepts.
+pub const MIN_SCHEMA_VERSION: u32 = 1;
 
 /// Cap on events buffered per worker shard between barriers. A chunk
 /// event is ~64 bytes and supersteps rarely plan more than a few
@@ -112,7 +124,9 @@ pub enum TraceEvent {
         superstep: u64,
         /// Index of the chunk within the superstep's plan.
         chunk: u64,
-        /// Edge weight the scheduler assigned to the chunk.
+        /// Weight the scheduler assigned to the chunk (degree + 1 per
+        /// vertex from schema 2 on; raw edge counts in schema-1 files —
+        /// the wire key keeps its original name for compatibility).
         planned_edges: u64,
         /// Measured wall-clock of the chunk body.
         duration_ns: u64,
@@ -122,6 +136,24 @@ pub enum TraceEvent {
         cas_retries: u64,
         /// Spinlock busy-wait iterations during the chunk.
         spin_iterations: u64,
+        /// Pool worker index the chunk body ran on. With work-stealing
+        /// this is timing-dependent (any worker may run any chunk), so
+        /// it is recorded rather than inferred. 0 in schema-1 files and
+        /// for the sequential engine.
+        worker: u64,
+    },
+    /// Work-stealing scheduler counters for one superstep's parallel
+    /// region: the delta of the pool's cumulative counters across the
+    /// region (see `ipregel_par::current_pool_stats`). Zero under the
+    /// rayon backend, which does not expose its scheduler.
+    Pool {
+        /// Superstep the region belonged to.
+        superstep: u64,
+        /// Chunks executed by a worker other than the one whose deque
+        /// held them.
+        steals: u64,
+        /// Jobs routed through the overflow injector.
+        overflow: u64,
     },
     /// A superstep completed (mirror of [`crate::SuperstepStats`]).
     SuperstepEnd {
@@ -198,6 +230,7 @@ impl TraceEvent {
             TraceEvent::RunBegin { .. } => "run_begin",
             TraceEvent::SuperstepBegin { .. } => "superstep_begin",
             TraceEvent::Chunk { .. } => "chunk",
+            TraceEvent::Pool { .. } => "pool",
             TraceEvent::SuperstepEnd { .. } => "superstep_end",
             TraceEvent::WorklistDrain { .. } => "worklist_drain",
             TraceEvent::CheckpointSave { .. } => "checkpoint_save",
@@ -519,7 +552,7 @@ pub mod contention {
 }
 
 // ---------------------------------------------------------------------------
-// JSONL codec (schema version 1)
+// JSONL codec (schema version 2; reads 1..=2)
 // ---------------------------------------------------------------------------
 
 /// The meta header line opening every trace file.
@@ -559,6 +592,7 @@ pub fn encode_event(e: &TraceEvent) -> String {
             lock_acquisitions,
             cas_retries,
             spin_iterations,
+            worker,
         } => {
             num(&mut s, "superstep", superstep);
             num(&mut s, "chunk", chunk);
@@ -567,6 +601,12 @@ pub fn encode_event(e: &TraceEvent) -> String {
             num(&mut s, "lock_acquisitions", lock_acquisitions);
             num(&mut s, "cas_retries", cas_retries);
             num(&mut s, "spin_iterations", spin_iterations);
+            num(&mut s, "worker", worker);
+        }
+        TraceEvent::Pool { superstep, steals, overflow } => {
+            num(&mut s, "superstep", superstep);
+            num(&mut s, "steals", steals);
+            num(&mut s, "overflow", overflow);
         }
         TraceEvent::SuperstepEnd { superstep, active, messages, duration_ns, selection_ns, chunks } => {
             num(&mut s, "superstep", superstep);
@@ -733,6 +773,15 @@ impl Fields<'_> {
         }
     }
 
+    /// A numeric field that older schema versions did not carry.
+    fn num_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.fields.iter().find(|(k, _)| k == key) {
+            Some((_, JsonVal::Num(n))) => Ok(*n),
+            Some((_, JsonVal::Str(_))) => Err(format!("field {key:?} is a string in {:?}", self.line)),
+            None => Ok(default),
+        }
+    }
+
     fn str(&self, key: &str) -> Result<&str, String> {
         match self.fields.iter().find(|(k, _)| k == key) {
             Some((_, JsonVal::Str(s))) => Ok(s),
@@ -750,9 +799,10 @@ pub fn decode_line(line: &str) -> Result<Option<TraceEvent>, String> {
     let e = match ty {
         "meta" => {
             let schema = f.num("schema")?;
-            if schema != u64::from(SCHEMA_VERSION) {
+            if schema < u64::from(MIN_SCHEMA_VERSION) || schema > u64::from(SCHEMA_VERSION) {
                 return Err(format!(
-                    "unsupported trace schema {schema} (this build reads {SCHEMA_VERSION})"
+                    "unsupported trace schema {schema} (this build reads \
+                     {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
                 ));
             }
             return Ok(None);
@@ -772,6 +822,14 @@ pub fn decode_line(line: &str) -> Result<Option<TraceEvent>, String> {
             lock_acquisitions: f.num("lock_acquisitions")?,
             cas_retries: f.num("cas_retries")?,
             spin_iterations: f.num("spin_iterations")?,
+            // Absent in schema-1 files: worker == chunk-owner was the
+            // (implicit) pre-stealing behaviour, recorded as 0.
+            worker: f.num_or("worker", 0)?,
+        },
+        "pool" => TraceEvent::Pool {
+            superstep: f.num("superstep")?,
+            steals: f.num("steals")?,
+            overflow: f.num("overflow")?,
         },
         "superstep_end" => TraceEvent::SuperstepEnd {
             superstep: f.num("superstep")?,
@@ -860,6 +918,8 @@ pub fn render_prometheus(events: &[TraceEvent], dropped: u64) -> String {
     let mut io_bytes = 0u64;
     let mut io_seeks = 0u64;
     let mut io_retries = 0u64;
+    let mut pool_steals = 0u64;
+    let mut pool_overflow = 0u64;
     let mut last_rss: Option<u64> = None;
     for e in events {
         match *e {
@@ -895,6 +955,10 @@ pub fn render_prometheus(events: &[TraceEvent], dropped: u64) -> String {
                 io_bytes += bytes_read;
                 io_seeks += seeks;
                 io_retries += retries;
+            }
+            TraceEvent::Pool { steals, overflow, .. } => {
+                pool_steals += steals;
+                pool_overflow += overflow;
             }
             TraceEvent::RunBegin { .. }
             | TraceEvent::SuperstepBegin { .. }
@@ -947,6 +1011,13 @@ pub fn render_prometheus(events: &[TraceEvent], dropped: u64) -> String {
     counter(&mut out, "ipregel_io_bytes_read_total", "Out-of-core bytes read.", io_bytes.to_string());
     counter(&mut out, "ipregel_io_seeks_total", "Out-of-core seeks.", io_seeks.to_string());
     counter(&mut out, "ipregel_io_retries_total", "Out-of-core transient retries.", io_retries.to_string());
+    counter(&mut out, "ipregel_pool_steals_total", "Chunks executed via work-stealing.", pool_steals.to_string());
+    counter(
+        &mut out,
+        "ipregel_pool_overflow_total",
+        "Jobs routed through the pool's overflow injector.",
+        pool_overflow.to_string(),
+    );
     counter(&mut out, "ipregel_trace_events_dropped_total", "Trace events dropped at shard bound.", dropped.to_string());
     if let Some(rss) = last_rss {
         out.push_str(&format!(
@@ -972,7 +1043,9 @@ mod tests {
                 lock_acquisitions: 3,
                 cas_retries: 1,
                 spin_iterations: 9,
+                worker: 1,
             },
+            TraceEvent::Pool { superstep: 0, steals: 2, overflow: 4 },
             TraceEvent::WorklistDrain { superstep: 0, queued: 7, drained: 5 },
             TraceEvent::SuperstepEnd {
                 superstep: 0,
@@ -1018,7 +1091,29 @@ mod tests {
 
     #[test]
     fn meta_line_is_pinned() {
-        assert_eq!(encode_meta(), "{\"type\":\"meta\",\"schema\":1}");
+        assert_eq!(encode_meta(), "{\"type\":\"meta\",\"schema\":2}");
+    }
+
+    #[test]
+    fn decoder_reads_schema_1_chunks_without_worker() {
+        let v1 = "{\"type\":\"meta\",\"schema\":1}\n\
+                  {\"type\":\"chunk\",\"superstep\":0,\"chunk\":3,\"planned_edges\":9,\
+                  \"duration_ns\":77,\"lock_acquisitions\":0,\"cas_retries\":0,\
+                  \"spin_iterations\":0}\n";
+        let events = decode_trace(v1).expect("schema 1 must stay readable");
+        assert_eq!(
+            events,
+            vec![TraceEvent::Chunk {
+                superstep: 0,
+                chunk: 3,
+                planned_edges: 9,
+                duration_ns: 77,
+                lock_acquisitions: 0,
+                cas_retries: 0,
+                spin_iterations: 0,
+                worker: 0,
+            }]
+        );
     }
 
     #[test]
@@ -1039,6 +1134,7 @@ mod tests {
                         lock_acquisitions: 0,
                         cas_retries: 0,
                         spin_iterations: 0,
+                        worker: 0,
                     })
                 },
                 || {
@@ -1050,6 +1146,7 @@ mod tests {
                         lock_acquisitions: 0,
                         cas_retries: 0,
                         spin_iterations: 0,
+                        worker: 0,
                     })
                 },
             );
@@ -1085,6 +1182,8 @@ mod tests {
         assert!(text.contains("ipregel_worklist_drained_total 5\n"));
         assert!(text.contains("ipregel_checkpoint_saves_total 1\n"));
         assert!(text.contains("ipregel_io_bytes_read_total 4096\n"));
+        assert!(text.contains("ipregel_pool_steals_total 2\n"));
+        assert!(text.contains("ipregel_pool_overflow_total 4\n"));
         assert!(text.contains("ipregel_trace_events_dropped_total 3\n"));
         assert!(text.contains("ipregel_rss_bytes 1048576\n"));
     }

@@ -20,6 +20,10 @@
 //! 6. –7. worklist shard handoff: worker-exclusive pushes during the
 //!    parallel region become orchestrator-exclusive reads after join
 //!    (the superstep barrier), plus the mutex fallback path.
+//! 8. –9. the work-stealing pool's queues (`ipregel_par::deque`): an
+//!    owner pushing/popping LIFO races a thief stealing FIFO and every
+//!    job surfaces exactly once; a full deque spilling into the
+//!    overflow injector hands the job over without losing it.
 //!
 //! Keep each model at 2–3 threads: loom's state space is exponential in
 //! preemption points, and these protocols show all their behaviours
@@ -184,5 +188,85 @@ fn worklist_fallback_merges_exactly_once() {
         assert_eq!(drained, vec![7, 9], "fallback entries must merge exactly once");
         wl.clear();
         assert_eq!(wl.len(), 0);
+    });
+}
+
+/// Model 8: the deque push/steal race. The owner pushes two jobs at the
+/// back and pops one LIFO while a thief pops FIFO from the front, in
+/// every interleaving loom can produce. Whatever the schedule, each job
+/// must surface exactly once — a double-steal or a lost push would show
+/// up as a wrong multiset.
+#[test]
+fn deque_push_steal_race_delivers_each_job_exactly_once() {
+    use ipregel_par::deque::StealDeque;
+    loom::model(|| {
+        let d = Arc::new(StealDeque::new(4));
+        let thief = {
+            let d = Arc::clone(&d);
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..2 {
+                    if let Some(v) = d.pop_front() {
+                        got.push(v);
+                    }
+                }
+                got
+            })
+        };
+        let mut got = Vec::new();
+        d.push_back(1u32).expect("capacity 4 cannot overflow here");
+        d.push_back(2u32).expect("capacity 4 cannot overflow here");
+        if let Some(v) = d.pop_back() {
+            got.push(v);
+        }
+        got.extend(thief.join().unwrap());
+        // Whatever the race left behind is still in the deque.
+        while let Some(v) = d.pop_front() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2], "every job exactly once, none lost, none duplicated");
+    });
+}
+
+/// Model 9: the overflow handoff. A capacity-1 deque rejects the second
+/// push, which the owner routes to the injector (exactly what
+/// `PoolInner::push` does on a full deque); a thief scans deque first,
+/// injector second (the `find_job` order). No interleaving may lose the
+/// spilled job or deliver either job twice.
+#[test]
+fn overflow_handoff_loses_no_jobs() {
+    use ipregel_par::deque::{Injector, StealDeque};
+    loom::model(|| {
+        let d = Arc::new(StealDeque::new(1));
+        let inj = Arc::new(Injector::new());
+        let owner = {
+            let d = Arc::clone(&d);
+            let inj = Arc::clone(&inj);
+            thread::spawn(move || {
+                for j in [1u32, 2] {
+                    if let Err(j) = d.push_back(j) {
+                        inj.push(j);
+                    }
+                }
+            })
+        };
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            if let Some(v) = d.pop_front() {
+                got.push(v);
+            } else if let Some(v) = inj.pop_front() {
+                got.push(v);
+            }
+        }
+        owner.join().unwrap();
+        while let Some(v) = d.pop_front() {
+            got.push(v);
+        }
+        while let Some(v) = inj.pop_front() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2], "the spilled job must survive the handoff");
     });
 }

@@ -21,6 +21,8 @@
 /// deeply nested user-facing lock in the tree.
 pub const LOCK_HIERARCHY: &[(&str, u16)] = &[
     ("pool.state", 10),
+    ("pool.deque", 12),
+    ("pool.overflow", 14),
     ("pool.latch", 20),
     ("pool.panic", 25),
     ("pool.result", 30),
@@ -81,8 +83,12 @@ pub const ATOMIC_PROTOCOLS: &[(&str, &[&str])] = &[
     ("crates/core/src/sync_cell.rs", &["Acquire", "Release"]),
     // The shim's own self-test.
     ("crates/core/src/sync.rs", &["Acquire", "Release"]),
-    // Pool/iter test tallies (scope join synchronizes).
+    // Pool scheduling counters (steals/overflow/sleepers): monotone or
+    // advisory values whose correctness-bearing reads happen under the
+    // queue mutexes; plus test tallies (scope join synchronizes).
     ("crates/par/src/pool.rs", &["Relaxed"]),
+    // Advisory length mirrors written under the deque/injector locks.
+    ("crates/par/src/deque.rs", &["Relaxed"]),
     ("crates/par/src/iter.rs", &["Relaxed"]),
     // Temp-file unique-id tick in the CLI's test helper.
     ("crates/cli/src/lib.rs", &["Relaxed"]),
@@ -100,6 +106,7 @@ pub const TRACE_COVERAGE: &[(&str, &[&str])] = &[
             "TraceEvent::RunBegin",
             "TraceEvent::SuperstepBegin",
             "TraceEvent::Chunk",
+            "TraceEvent::Pool",
             "TraceEvent::SuperstepEnd",
             "TraceEvent::RunEnd",
             "TraceEvent::CheckpointSave",
@@ -111,6 +118,7 @@ pub const TRACE_COVERAGE: &[(&str, &[&str])] = &[
             "TraceEvent::RunBegin",
             "TraceEvent::SuperstepBegin",
             "TraceEvent::Chunk",
+            "TraceEvent::Pool",
             "TraceEvent::SuperstepEnd",
             "TraceEvent::RunEnd",
             "TraceEvent::CheckpointSave",
@@ -184,6 +192,7 @@ pub const FORBID_FILES: &[&str] = &[
     "crates/par/src/padded.rs",
     "crates/par/src/lockorder.rs",
     "crates/par/src/iter.rs",
+    "crates/par/src/deque.rs",
 ];
 
 /// Directory roots searched for `.rs` files by the unsafe-confinement

@@ -1,0 +1,235 @@
+//! Per-worker steal deques and the overflow injector — the queues
+//! behind the work-stealing pool (see `pool.rs`).
+//!
+//! # Shape
+//!
+//! Each pool worker owns one bounded [`StealDeque`]: the owner pushes
+//! and pops **LIFO** at the back (hot tasks stay cache-warm), thieves
+//! pop **FIFO** from the front (the oldest — and for the engines'
+//! chunk plans, the largest-remaining — task migrates first). When an
+//! owner's deque is full, or when a non-worker thread submits work, the
+//! job goes to the pool's single unbounded [`Injector`] instead, which
+//! every worker polls between its own deque and stealing.
+//!
+//! # Why mutexes, not a lock-free Chase–Lev deque
+//!
+//! The workspace forbids speculative `unsafe` (see docs/INTERNALS.md,
+//! "Safety model"), and the pool moves *chunk-granular* jobs — tens per
+//! superstep, each wrapping thousands of vertex updates — so queue
+//! operations are nowhere near the contention regime where a lock-free
+//! deque pays for its complexity. A short critical section per
+//! push/pop, with a relaxed advisory length so thieves can skip empty
+//! victims without touching their locks, keeps the whole structure in
+//! safe code and inside the lock hierarchy (`pool.deque` rank 12,
+//! `pool.overflow` rank 14 — both nest inside `pool.state` and under
+//! everything client code holds).
+//!
+//! # Loom
+//!
+//! Under `--cfg loom` the mutex and the advisory counter swap for
+//! loom's instrumented doubles, so the steal-exactly-once and
+//! overflow-handoff models in `crates/core/tests/loom.rs` exercise
+//! *these* types, not simplified stand-ins. The lock-order detector is
+//! std-only, so the loom build uses loom's plain `Mutex`; the class
+//! annotations still document where each site sits in the hierarchy.
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+
+#[cfg(not(loom))]
+use crate::lockorder::{classes, OrderedMutex};
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(loom)]
+use loom::sync::Mutex;
+
+/// One worker's double-ended job queue: owner-LIFO, thief-FIFO,
+/// bounded. `push_back` hands the job back when the deque is full so
+/// the caller can route it to the [`Injector`].
+pub struct StealDeque<T> {
+    #[cfg(not(loom))]
+    inner: OrderedMutex<VecDeque<T>>,
+    #[cfg(loom)]
+    inner: Mutex<VecDeque<T>>,
+    /// Advisory length mirror, updated under the lock. Thieves read it
+    /// lock-free to skip empty victims; a stale read only costs one
+    /// extra probe (stale-empty) or one skipped victim this round
+    /// (stale-full) — never a lost job, because the sleep path re-scans
+    /// under the pool's state lock (see `pool.rs`, "sleep protocol").
+    len: AtomicUsize,
+    capacity: usize,
+}
+
+impl<T> StealDeque<T> {
+    /// An empty deque holding at most `capacity` jobs.
+    pub fn new(capacity: usize) -> Self {
+        StealDeque {
+            #[cfg(not(loom))]
+            inner: OrderedMutex::new(&classes::POOL_DEQUE, VecDeque::new()),
+            #[cfg(loom)]
+            inner: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+            capacity,
+        }
+    }
+
+    /// Advisory emptiness: exact while the lock is held by no-one,
+    /// otherwise at most one operation stale.
+    pub fn is_empty_hint(&self) -> bool {
+        // ordering(Relaxed): advisory fast-path filter only; every
+        // correctness-bearing read re-checks under the deque mutex.
+        self.len.load(Ordering::Relaxed) == 0
+    }
+
+    /// Owner push (back). Returns the job when the deque is at
+    /// capacity — the caller must overflow it to the injector.
+    pub fn push_back(&self, job: T) -> Result<(), T> {
+        // lock-order(pool.deque)
+        let mut q = self.inner.lock().expect("deque poisoned");
+        if q.len() >= self.capacity {
+            return Err(job);
+        }
+        q.push_back(job);
+        // ordering(Relaxed): advisory mirror, written under the lock.
+        self.len.store(q.len(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Owner pop (back, LIFO).
+    pub fn pop_back(&self) -> Option<T> {
+        if self.is_empty_hint() {
+            return None;
+        }
+        // lock-order(pool.deque)
+        let mut q = self.inner.lock().expect("deque poisoned");
+        let job = q.pop_back();
+        // ordering(Relaxed): advisory mirror, written under the lock.
+        self.len.store(q.len(), Ordering::Relaxed);
+        job
+    }
+
+    /// Thief pop (front, FIFO).
+    pub fn pop_front(&self) -> Option<T> {
+        if self.is_empty_hint() {
+            return None;
+        }
+        // lock-order(pool.deque)
+        let mut q = self.inner.lock().expect("deque poisoned");
+        let job = q.pop_front();
+        // ordering(Relaxed): advisory mirror, written under the lock.
+        self.len.store(q.len(), Ordering::Relaxed);
+        job
+    }
+}
+
+/// The pool's shared overflow queue: unbounded FIFO for jobs that
+/// cannot sit in a worker deque (non-worker submissions, full-deque
+/// overflow). Every worker polls it after its own deque and before
+/// stealing, so injected jobs cannot be starved by deque churn.
+pub struct Injector<T> {
+    #[cfg(not(loom))]
+    inner: OrderedMutex<VecDeque<T>>,
+    #[cfg(loom)]
+    inner: Mutex<VecDeque<T>>,
+    /// Advisory length mirror; same discipline as [`StealDeque::len`].
+    len: AtomicUsize,
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Injector {
+            #[cfg(not(loom))]
+            inner: OrderedMutex::new(&classes::POOL_OVERFLOW, VecDeque::new()),
+            #[cfg(loom)]
+            inner: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Advisory emptiness (see [`StealDeque::is_empty_hint`]).
+    pub fn is_empty_hint(&self) -> bool {
+        // ordering(Relaxed): advisory fast-path filter only; every
+        // correctness-bearing read re-checks under the injector mutex.
+        self.len.load(Ordering::Relaxed) == 0
+    }
+
+    /// Enqueue at the back (never fails — the injector is the overflow
+    /// of last resort).
+    pub fn push(&self, job: T) {
+        // lock-order(pool.overflow)
+        let mut q = self.inner.lock().expect("injector poisoned");
+        q.push_back(job);
+        // ordering(Relaxed): advisory mirror, written under the lock.
+        self.len.store(q.len(), Ordering::Relaxed);
+    }
+
+    /// Dequeue from the front (FIFO: submission order is preserved, so
+    /// a nested scope's overflowed jobs cannot starve behind newer
+    /// ones).
+    pub fn pop_front(&self) -> Option<T> {
+        if self.is_empty_hint() {
+            return None;
+        }
+        // lock-order(pool.overflow)
+        let mut q = self.inner.lock().expect("injector poisoned");
+        let job = q.pop_front();
+        // ordering(Relaxed): advisory mirror, written under the lock.
+        self.len.store(q.len(), Ordering::Relaxed);
+        job
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_pops_lifo_thieves_pop_fifo() {
+        let d = StealDeque::new(8);
+        for i in 0..4 {
+            d.push_back(i).unwrap();
+        }
+        assert_eq!(d.pop_back(), Some(3), "owner side is LIFO");
+        assert_eq!(d.pop_front(), Some(0), "thief side is FIFO");
+        assert_eq!(d.pop_back(), Some(2));
+        assert_eq!(d.pop_front(), Some(1));
+        assert_eq!(d.pop_back(), None);
+        assert!(d.is_empty_hint());
+    }
+
+    #[test]
+    fn full_deque_hands_the_job_back() {
+        let d = StealDeque::new(2);
+        d.push_back(1).unwrap();
+        d.push_back(2).unwrap();
+        assert_eq!(d.push_back(3), Err(3), "capacity bound must be enforced");
+        assert_eq!(d.pop_back(), Some(2));
+        d.push_back(4).unwrap();
+        assert_eq!(d.pop_front(), Some(1));
+        assert_eq!(d.pop_front(), Some(4));
+    }
+
+    #[test]
+    fn injector_preserves_submission_order() {
+        let inj = Injector::new();
+        assert!(inj.is_empty_hint());
+        for i in 0..3 {
+            inj.push(i);
+        }
+        assert_eq!(inj.pop_front(), Some(0));
+        assert_eq!(inj.pop_front(), Some(1));
+        assert_eq!(inj.pop_front(), Some(2));
+        assert_eq!(inj.pop_front(), None);
+    }
+}

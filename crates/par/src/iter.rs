@@ -5,7 +5,7 @@
 //! length and can evaluate position `i` independently
 //! (`eval(i) -> Option<Item>`, where `None` means "filtered out").
 //! Consumers split `0..len` into a fixed, deterministic chunk plan —
-//! `min(len, current_num_threads × 4)` contiguous chunks — spawn one
+//! `min(len, current_num_threads × 8)` contiguous chunks — spawn one
 //! scope task per chunk, evaluate each chunk sequentially on a pool
 //! worker, and combine the per-chunk partial results **sequentially in
 //! chunk order** on the calling thread.
@@ -36,9 +36,12 @@ use crate::lockorder::{classes, OrderedMutex};
 use crate::pool;
 use std::ops::Range;
 
-/// Chunks per worker thread; matches the engine chunk planner's
-/// oversubscription factor so one `scope` task maps to one plan chunk.
-const CHUNKS_PER_THREAD: usize = 4;
+/// Chunks per worker thread. At least the engine chunk planner's
+/// maximum oversubscription factor (base ×4, over-partitioned adaptive
+/// plans ×8 — see `crates/core/src/engine/chunks.rs`), so one `scope`
+/// task always maps to one plan chunk and work-stealing can rebalance
+/// at plan-chunk granularity.
+const CHUNKS_PER_THREAD: usize = 8;
 
 /// The deterministic chunk plan for a consumer over `len` items.
 fn chunk_bounds(len: usize) -> Vec<Range<usize>> {

@@ -54,14 +54,16 @@ pub mod lockorder;
 // point of the switch is comparing the real thing against the in-tree
 // pool, so "rayon requested" must mean rayon delivered.
 #[cfg(not(feature = "rayon"))]
+pub mod deque;
+#[cfg(not(feature = "rayon"))]
 mod pool;
 #[cfg(not(feature = "rayon"))]
 pub mod iter;
 
 #[cfg(not(feature = "rayon"))]
 pub use pool::{
-    current_num_threads, current_thread_index, join, scope, Scope, ThreadPool,
-    ThreadPoolBuildError, ThreadPoolBuilder,
+    current_num_threads, current_pool_stats, current_thread_index, join, scope, PoolStats, Scope,
+    ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
 };
 
 /// The traits that make `par_iter()` / `into_par_iter()` /
@@ -80,6 +82,26 @@ pub use rayon::{
     current_num_threads, current_thread_index, join, scope, Scope, ThreadPool,
     ThreadPoolBuildError, ThreadPoolBuilder,
 };
+
+/// Work-stealing counters (std-pool backend). Rayon does not expose its
+/// scheduler's internals, so the rayon arm reports zeros — callers
+/// (engine `LoadStats`, the `pool` trace event) treat the counters as
+/// best-effort observability, never as correctness inputs.
+#[cfg(feature = "rayon")]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Always 0 on the rayon backend.
+    pub steals: u64,
+    /// Always 0 on the rayon backend.
+    pub overflow: u64,
+}
+
+/// Rayon-backend stub: counters are invisible inside rayon, so the
+/// snapshot is always zero (deltas across a region are then zero too).
+#[cfg(feature = "rayon")]
+pub fn current_pool_stats() -> PoolStats {
+    PoolStats::default()
+}
 
 /// Rayon-backed prelude: the real thing, same import path.
 #[cfg(feature = "rayon")]

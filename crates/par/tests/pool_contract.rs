@@ -13,6 +13,13 @@
 //! 4. **Deterministic reduction** (std-pool only): chunk results are
 //!    combined in chunk order, so float sums are bit-identical from run
 //!    to run at any fixed thread count.
+//!
+//! The second half of the file is the steal-hardened battery (std-pool
+//! only): the same contracts with work-stealing *forced* — adversarial
+//! sleeps push chunks onto thieves, panics land in stolen chunks, and
+//! fan-out past the deque bound spills through the overflow injector —
+//! because every guarantee above must be independent of which worker a
+//! chunk lands on.
 
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -106,4 +113,190 @@ fn float_reductions_are_bit_identical_for_a_fixed_thread_count() {
              (threads={threads}): {runs:?}"
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// The steal-hardened battery: the contracts above with stealing forced.
+// ---------------------------------------------------------------------
+
+/// Bit-identical float reduction with stealing *provoked*: the early
+/// chunks sleep, so the spawning worker stalls on them (thieves take
+/// the front of its deque; the owner pops the back) and later chunks
+/// migrate to whichever worker is free. The reduction still folds the
+/// chunk slots in chunk order on the caller, so the adversarial run's
+/// sum must match the undisturbed run bit for bit — and the steal
+/// counters prove the schedules actually differed.
+#[cfg(not(feature = "rayon"))]
+#[test]
+fn float_reduction_bits_survive_forced_stealing() {
+    let values: Vec<f64> = (0..10_000).map(|i| 1.0 / f64::from(i + 1)).collect();
+    let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    let calm = pool.install(|| values.par_iter().map(|&v| v * v).sum::<f64>()).to_bits();
+    let before = pool.install(ipregel_par::current_pool_stats);
+    for _ in 0..4 {
+        let adversarial = pool
+            .install(|| {
+                values
+                    .par_iter()
+                    .enumerate()
+                    .map(|(i, &v)| {
+                        // One nap near the start of each early chunk
+                        // (10 000 items / 4 threads / 8 chunks-per-
+                        // thread ≈ 313-item chunks): the executing
+                        // worker blocks, everyone else steals on.
+                        if i < 2_000 && i % 313 == 0 {
+                            std::thread::sleep(std::time::Duration::from_micros(500));
+                        }
+                        v * v
+                    })
+                    .sum::<f64>()
+            })
+            .to_bits();
+        assert_eq!(
+            adversarial, calm,
+            "stealing moved chunks between workers, so bit-equality \
+             proves the reduction order never followed execution order"
+        );
+    }
+    let after = pool.install(ipregel_par::current_pool_stats);
+    assert!(
+        after.steals > before.steals,
+        "the adversarial runs must actually have forced steals: {after:?}"
+    );
+}
+
+/// Worker indices stay dense and in-range while thieves are actively
+/// draining a spawner: with every task asleep most of its lifetime, the
+/// whole pool must join in (a worker that never shows up would mean
+/// wakeups got lost), and no task may ever observe an out-of-range or
+/// unstable index mid-execution.
+#[cfg(not(feature = "rayon"))]
+#[test]
+fn worker_indices_stay_dense_under_active_steals() {
+    const THREADS: usize = 4;
+    let pool = ThreadPoolBuilder::new().num_threads(THREADS).build().unwrap();
+    let before = pool.install(ipregel_par::current_pool_stats);
+    let seen = Mutex::new(BTreeSet::new());
+    pool.install(|| {
+        ipregel_par::scope(|s| {
+            for _ in 0..64 {
+                let seen = &seen;
+                s.spawn(move |_| {
+                    let idx = current_thread_index().expect("tasks run on pool workers");
+                    assert!(idx < THREADS, "index past the pool: {idx}");
+                    // Sleeping yields the CPU, so even a single-core CI
+                    // box overlaps the naps and every worker gets to
+                    // steal its share.
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                    assert_eq!(
+                        current_thread_index(),
+                        Some(idx),
+                        "a task must not migrate between workers mid-flight"
+                    );
+                    seen.lock().unwrap().insert(idx);
+                });
+            }
+        });
+    });
+    let after = pool.install(ipregel_par::current_pool_stats);
+    let seen = seen.into_inner().unwrap();
+    assert_eq!(
+        seen,
+        (0..THREADS).collect::<BTreeSet<_>>(),
+        "64 sleepy tasks must pull every worker in"
+    );
+    assert!(after.steals > before.steals, "the fan-out must have been stolen from: {after:?}");
+}
+
+/// A panic inside a *stolen* chunk: the payload must reach the scope
+/// caller intact (blaming the poisoned task, not an innocent sibling),
+/// siblings must drain, and the pool must stay usable. The panicking
+/// task sits at the front of the spawner's deque — exactly where a
+/// thief takes from — while the spawner itself works the back.
+#[cfg(not(feature = "rayon"))]
+#[test]
+fn panic_in_a_stolen_chunk_blames_that_chunk_and_pool_survives() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    let before = pool.install(ipregel_par::current_pool_stats);
+    let ran_on = AtomicUsize::new(usize::MAX);
+    let survivors = AtomicUsize::new(0);
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        pool.install(|| {
+            ipregel_par::scope(|s| {
+                // First spawn = front of the deque = first steal target.
+                let ran_on = &ran_on;
+                s.spawn(move |_| {
+                    ran_on.store(current_thread_index().unwrap(), Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                    panic!("chunk 0 poisoned");
+                });
+                for _ in 0..63 {
+                    let survivors = &survivors;
+                    s.spawn(move |_| {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                        survivors.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+    }));
+    let payload = caught.expect_err("the stolen chunk's panic must reach the caller");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(str::to_owned)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string payload>".into());
+    assert!(msg.contains("chunk 0 poisoned"), "blame lands on the right chunk: {msg}");
+    assert_eq!(
+        survivors.load(Ordering::Relaxed),
+        63,
+        "every sibling drains before the panic propagates"
+    );
+    assert_ne!(ran_on.load(Ordering::Relaxed), usize::MAX, "the poisoned chunk did run");
+    let after = pool.install(ipregel_par::current_pool_stats);
+    assert!(after.steals > before.steals, "the region must have exercised stealing: {after:?}");
+    // Same pool, next superstep: nothing leaked, nobody died.
+    let sum = pool.install(|| (0..1000u64).into_par_iter().sum::<u64>());
+    assert_eq!(sum, 499_500);
+}
+
+/// Nested scopes on a one-thread pool whose deque has spilled into the
+/// overflow injector: the lone worker must help-drain its own deque
+/// *and* the injector while blocked in the outer scope, or the fan-out
+/// deadlocks. Fan-out is sized well past the per-worker deque bound
+/// (256) to force the spill.
+#[cfg(not(feature = "rayon"))]
+#[test]
+fn nested_scopes_on_one_thread_drain_the_overflow_injector() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let before = pool.install(ipregel_par::current_pool_stats);
+    let counter = AtomicUsize::new(0);
+    pool.install(|| {
+        ipregel_par::scope(|s| {
+            for _ in 0..320 {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    // A nested scope from inside a task while the outer
+                    // fan-out still clogs deque + injector.
+                    ipregel_par::scope(|inner| {
+                        for _ in 0..2 {
+                            inner.spawn(move |_| {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    });
+    let after = pool.install(ipregel_par::current_pool_stats);
+    assert_eq!(counter.load(Ordering::Relaxed), 320 * 3, "every nested task completed");
+    assert!(
+        after.overflow > before.overflow,
+        "960 tasks through a 256-slot deque must spill to the injector: {after:?}"
+    );
 }

@@ -116,9 +116,21 @@ fn parallel_results_match_sequential_oracle_bit_for_bit() {
 
             // PageRank: parallel engines re-associate f64 message sums,
             // so versus the *sequential* oracle only tolerance equality
-            // holds (same 1e-9 bound as tests/golden.rs); but the same
-            // parallel config re-run must reproduce its own bits — the
-            // std-pool's chunk-order combining makes runs deterministic.
+            // holds (same 1e-9 bound as tests/golden.rs). Re-run
+            // reproducibility splits by combiner family:
+            //
+            // * The pull engine (`Broadcast`) gathers each inbox in CSR
+            //   in-neighbour order — one fixed association per vertex —
+            //   so identical configs reproduce identical bits even
+            //   though the work-stealing pool moves chunks between
+            //   workers freely.
+            // * The lock-based push combiners apply the user `combine`
+            //   in message *arrival* order. Which worker delivers first
+            //   is a lock race, so cross-chunk f64 sums re-associate
+            //   between runs; reruns agree to association-level
+            //   tolerance, not bitwise. (The chunk-order *reduction*
+            //   contract — facade `sum()` bit-stable under forced
+            //   stealing — is pinned in crates/par/tests/pool_contract.)
             let pr = PageRank { rounds: 20, damping: 0.85 };
             let par = run(&a, &pr, v, &cfg);
             let seq = run_sequential(&a, &pr, &seq_cfg);
@@ -129,9 +141,18 @@ fn parallel_results_match_sequential_oracle_bit_for_bit() {
                 );
             }
             let par2 = run(&a, &pr, v, &cfg);
-            let bits: Vec<u64> = par.values.iter().map(|x| x.to_bits()).collect();
-            let bits2: Vec<u64> = par2.values.iter().map(|x| x.to_bits()).collect();
-            assert_eq!(bits, bits2, "{v:?}: identical config must reproduce identical bits");
+            if combiner == CombinerKind::Broadcast {
+                let bits: Vec<u64> = par.values.iter().map(|x| x.to_bits()).collect();
+                let bits2: Vec<u64> = par2.values.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(bits, bits2, "{v:?}: pull gather order is fixed; bits must match");
+            } else {
+                for (p, q) in par.values.iter().zip(&par2.values) {
+                    assert!(
+                        (p - q).abs() <= 1e-12 * q.abs().max(p.abs()),
+                        "{v:?}: rerun drifted past re-association tolerance: {p} vs {q}"
+                    );
+                }
+            }
 
             let par = run(&b, &Sssp { source: 2 }, v, &cfg);
             let seq = run_sequential(&b, &Sssp { source: 2 }, &seq_cfg);

@@ -1,34 +1,37 @@
 //! Schema tests for the JSONL trace codec (docs/INTERNALS.md,
 //! "Observability").
 //!
-//! Two guarantees, independent of whether the `trace` feature is on
+//! Three guarantees, independent of whether the `trace` feature is on
 //! (the codec is always compiled):
 //!
 //! * **Round-trip**: every event type survives encode → decode exactly,
 //!   for arbitrary field values — property-tested across the full `u64`
 //!   range, so the 20-digit extremes exercise the hand-rolled integer
 //!   parser.
-//! * **Stability**: the byte-level encoding of schema version 1 is
-//!   pinned against `tests/fixtures/trace_schema.v1.jsonl`. A failure
-//!   here means the wire format changed: bump
-//!   `ipregel::trace::SCHEMA_VERSION` and regenerate the fixture
-//!   deliberately instead of silently breaking stored traces.
+//! * **Stability**: the byte-level encoding of the current schema
+//!   version (2) is pinned against
+//!   `tests/fixtures/trace_schema.v2.jsonl`. A failure here means the
+//!   wire format changed: bump `ipregel::trace::SCHEMA_VERSION` and
+//!   regenerate the fixture deliberately instead of silently breaking
+//!   stored traces.
+//! * **Back-compat**: schema-1 files (no `worker` field on `chunk`, no
+//!   `pool` events) still decode — `tests/fixtures/trace_schema.v1.jsonl`
+//!   is kept committed and is read with `worker` defaulting to 0.
 
 use std::path::Path;
 
 use ipregel::trace::{
     decode_line, decode_trace, encode_event, encode_meta, encode_trace, EngineKind, TraceEvent,
-    SCHEMA_VERSION,
+    MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 use proptest::prelude::*;
 
-fn fixture_text() -> String {
-    let path =
-        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/trace_schema.v1.jsonl");
+fn fixture_text(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
 }
 
-/// The event list whose encoding the committed fixture pins: one of
+/// The event list whose encoding the committed v2 fixture pins: one of
 /// every variant, every engine-independent field exercised.
 fn fixture_events() -> Vec<TraceEvent> {
     vec![
@@ -42,8 +45,10 @@ fn fixture_events() -> Vec<TraceEvent> {
             lock_acquisitions: 7,
             cas_retries: 2,
             spin_iterations: 31,
+            worker: 3,
         },
         TraceEvent::Rss { superstep: 0, bytes: 1_048_576 },
+        TraceEvent::Pool { superstep: 0, steals: 5, overflow: 2 },
         TraceEvent::SuperstepEnd {
             superstep: 0,
             active: 24,
@@ -60,26 +65,65 @@ fn fixture_events() -> Vec<TraceEvent> {
     ]
 }
 
+/// What the schema-1 fixture must decode to today: the same run, minus
+/// the `pool` event (didn't exist) and with `worker` defaulted to 0.
+fn v1_fixture_events() -> Vec<TraceEvent> {
+    fixture_events()
+        .into_iter()
+        .filter(|e| !matches!(e, TraceEvent::Pool { .. }))
+        .map(|e| match e {
+            TraceEvent::Chunk {
+                superstep,
+                chunk,
+                planned_edges,
+                duration_ns,
+                lock_acquisitions,
+                cas_retries,
+                spin_iterations,
+                worker: _,
+            } => TraceEvent::Chunk {
+                superstep,
+                chunk,
+                planned_edges,
+                duration_ns,
+                lock_acquisitions,
+                cas_retries,
+                spin_iterations,
+                worker: 0,
+            },
+            other => other,
+        })
+        .collect()
+}
+
 #[test]
-fn schema_version_1_encoding_is_pinned_byte_for_byte() {
-    assert_eq!(SCHEMA_VERSION, 1, "fixture pins version 1; regenerate it for a new schema");
+fn schema_version_2_encoding_is_pinned_byte_for_byte() {
+    assert_eq!(SCHEMA_VERSION, 2, "fixture pins version 2; regenerate it for a new schema");
     let encoded = encode_trace(&fixture_events());
-    let fixture = fixture_text();
+    let fixture = fixture_text("trace_schema.v2.jsonl");
     // Compare line by line first for a readable failure, then exactly.
     for (i, (got, want)) in encoded.lines().zip(fixture.lines()).enumerate() {
         assert_eq!(got, want, "line {i} of the trace encoding drifted from the fixture");
     }
-    assert_eq!(encoded, fixture, "trace encoding drifted from tests/fixtures/trace_schema.v1.jsonl");
+    assert_eq!(encoded, fixture, "trace encoding drifted from tests/fixtures/trace_schema.v2.jsonl");
 }
 
 #[test]
 fn the_committed_fixture_decodes_to_the_pinned_events() {
-    assert_eq!(decode_trace(&fixture_text()).unwrap(), fixture_events());
+    assert_eq!(decode_trace(&fixture_text("trace_schema.v2.jsonl")).unwrap(), fixture_events());
+}
+
+#[test]
+fn schema_1_fixture_still_decodes_with_defaulted_worker() {
+    assert_eq!(MIN_SCHEMA_VERSION, 1, "dropping schema-1 support needs a deliberate decision");
+    assert_eq!(decode_trace(&fixture_text("trace_schema.v1.jsonl")).unwrap(), v1_fixture_events());
 }
 
 #[test]
 fn meta_header_is_pinned() {
-    assert_eq!(encode_meta(), "{\"type\":\"meta\",\"schema\":1}");
+    assert_eq!(encode_meta(), "{\"type\":\"meta\",\"schema\":2}");
+    assert_eq!(decode_line("{\"type\":\"meta\",\"schema\":2}").unwrap(), None);
+    // The previous schema's header is still accepted on read.
     assert_eq!(decode_line("{\"type\":\"meta\",\"schema\":1}").unwrap(), None);
 }
 
@@ -87,6 +131,8 @@ fn meta_header_is_pinned() {
 fn unsupported_schema_versions_are_rejected() {
     let newer = "{\"type\":\"meta\",\"schema\":999}\n";
     assert!(decode_trace(newer).unwrap_err().contains("999"));
+    let ancient = "{\"type\":\"meta\",\"schema\":0}\n";
+    assert!(decode_trace(ancient).is_err(), "schema 0 predates MIN_SCHEMA_VERSION");
 }
 
 #[test]
@@ -97,6 +143,7 @@ fn malformed_lines_are_rejected_with_context() {
         "{\"type\":\"wibble\",\"superstep\":0}",      // unknown event
         "{\"type\":\"rss\",\"superstep\":0,\"bytes\":\"big\"}", // string where number expected
         "{\"type\":\"run_begin\",\"engine\":\"gpu\",\"slots\":1,\"threads\":1}", // unknown engine
+        "{\"type\":\"pool\",\"superstep\":0}",        // pool missing counters
     ] {
         assert!(decode_line(bad).is_err(), "{bad:?} should not parse");
     }
@@ -118,18 +165,29 @@ fn any_event() -> impl Strategy<Value = TraceEvent> {
         (engine, any::<u64>(), any::<u64>())
             .prop_map(|(engine, slots, threads)| TraceEvent::RunBegin { engine, slots, threads }),
         any::<u64>().prop_map(|superstep| TraceEvent::SuperstepBegin { superstep }),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
-            .prop_map(|(superstep, chunk, planned_edges, duration_ns, lock_acquisitions, cas_retries, spin_iterations)| {
-                TraceEvent::Chunk {
-                    superstep,
-                    chunk,
-                    planned_edges,
-                    duration_ns,
-                    lock_acquisitions,
-                    cas_retries,
-                    spin_iterations,
-                }
-            }),
+        (
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        )
+            .prop_map(
+                |(
+                    (superstep, chunk, planned_edges, duration_ns),
+                    (lock_acquisitions, cas_retries, spin_iterations, worker),
+                )| {
+                    TraceEvent::Chunk {
+                        superstep,
+                        chunk,
+                        planned_edges,
+                        duration_ns,
+                        lock_acquisitions,
+                        cas_retries,
+                        spin_iterations,
+                        worker,
+                    }
+                },
+            ),
+        (any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(superstep, steals, overflow)| TraceEvent::Pool { superstep, steals, overflow }),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
             .prop_map(|(superstep, active, messages, duration_ns, selection_ns, chunks)| {
                 TraceEvent::SuperstepEnd { superstep, active, messages, duration_ns, selection_ns, chunks }
