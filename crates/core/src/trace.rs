@@ -52,7 +52,9 @@ use ipregel_par::CachePadded;
 ///   executed the chunk — under work-stealing this is no longer implied
 ///   by the chunk index), and the `pool` event reports per-superstep
 ///   steal/overflow counters. The decoder still reads version-1 files:
-///   `worker` defaults to 0 and `pool` events simply never appear.
+///   `worker` defaults to 0 and `pool` events simply never appear. The
+///   default is gated on the file's declared version — a chunk line
+///   missing `worker` in a schema-2 file is malformed, not worker 0.
 pub const SCHEMA_VERSION: u32 = 2;
 
 /// Oldest schema version [`decode_line`] accepts.
@@ -793,19 +795,44 @@ impl Fields<'_> {
 
 /// Decode one trace line. `Ok(None)` means the line was a meta header
 /// (validated against [`SCHEMA_VERSION`]).
+///
+/// A standalone line carries no meta context, so it is held to the
+/// *current* schema: fields that older versions lacked are required.
+/// [`decode_trace`] instead threads each file's declared schema version
+/// into every line, which is what lets version-1 files omit them.
 pub fn decode_line(line: &str) -> Result<Option<TraceEvent>, String> {
+    match decode_line_at(line, SCHEMA_VERSION)? {
+        Decoded::Meta(_) => Ok(None),
+        Decoded::Event(e) => Ok(Some(e)),
+    }
+}
+
+/// One successfully decoded trace line.
+enum Decoded {
+    /// A meta header declaring the file's schema version (validated
+    /// against the supported range).
+    Meta(u32),
+    Event(TraceEvent),
+}
+
+/// Decode one line under the schema version `schema` declared by the
+/// file's meta header. Version-gated defaults live here: a `chunk`
+/// line may omit `worker` only in schema-1 files — in schema ≥ 2 the
+/// field is part of the wire format and its absence is malformed, not
+/// "worker 0".
+fn decode_line_at(line: &str, schema: u32) -> Result<Decoded, String> {
     let f = Fields { line, fields: parse_flat_object(line)? };
     let ty = f.str("type")?;
     let e = match ty {
         "meta" => {
-            let schema = f.num("schema")?;
-            if schema < u64::from(MIN_SCHEMA_VERSION) || schema > u64::from(SCHEMA_VERSION) {
+            let declared = f.num("schema")?;
+            if declared < u64::from(MIN_SCHEMA_VERSION) || declared > u64::from(SCHEMA_VERSION) {
                 return Err(format!(
-                    "unsupported trace schema {schema} (this build reads \
+                    "unsupported trace schema {declared} (this build reads \
                      {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
                 ));
             }
-            return Ok(None);
+            return Ok(Decoded::Meta(u32::try_from(declared).expect("validated range fits u32")));
         }
         "run_begin" => TraceEvent::RunBegin {
             engine: EngineKind::parse(f.str("engine")?)
@@ -822,9 +849,10 @@ pub fn decode_line(line: &str) -> Result<Option<TraceEvent>, String> {
             lock_acquisitions: f.num("lock_acquisitions")?,
             cas_retries: f.num("cas_retries")?,
             spin_iterations: f.num("spin_iterations")?,
-            // Absent in schema-1 files: worker == chunk-owner was the
-            // (implicit) pre-stealing behaviour, recorded as 0.
-            worker: f.num_or("worker", 0)?,
+            // Absent in schema-1 files, where worker == chunk-owner was
+            // the (implicit) pre-stealing behaviour, recorded as 0; a
+            // schema-2 chunk without it is malformed.
+            worker: if schema >= 2 { f.num("worker")? } else { f.num_or("worker", 0)? },
         },
         "pool" => TraceEvent::Pool {
             superstep: f.num("superstep")?,
@@ -866,29 +894,32 @@ pub fn decode_line(line: &str) -> Result<Option<TraceEvent>, String> {
         },
         other => return Err(format!("unknown event type {other:?} in {line:?}")),
     };
-    Ok(Some(e))
+    Ok(Decoded::Event(e))
 }
 
 /// Decode a whole trace file. The first non-empty line must be a meta
-/// header with a supported schema version.
+/// header with a supported schema version; that declared version then
+/// governs every event line, so version-gated defaults (the schema-1
+/// `worker` field) apply only to files that actually declare the old
+/// version.
 pub fn decode_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
     let mut events = Vec::new();
-    let mut saw_meta = false;
+    let mut schema: Option<u32> = None;
     for line in text.lines() {
         if line.trim().is_empty() {
             continue;
         }
-        match decode_line(line)? {
-            None => saw_meta = true,
-            Some(e) => {
-                if !saw_meta {
+        match decode_line_at(line, schema.unwrap_or(SCHEMA_VERSION))? {
+            Decoded::Meta(declared) => schema = Some(declared),
+            Decoded::Event(e) => {
+                if schema.is_none() {
                     return Err("trace does not start with a meta header line".to_string());
                 }
                 events.push(e);
             }
         }
     }
-    if !saw_meta {
+    if schema.is_none() {
         return Err("trace has no meta header line".to_string());
     }
     Ok(events)
@@ -1114,6 +1145,21 @@ mod tests {
                 worker: 0,
             }]
         );
+    }
+
+    #[test]
+    fn worker_default_is_gated_on_the_declared_schema() {
+        // The identical worker-less chunk line: legal in a file that
+        // declares schema 1 (see above), malformed in one that declares
+        // schema 2 — the default must not paper over a truncated line.
+        let chunk = "{\"type\":\"chunk\",\"superstep\":0,\"chunk\":3,\"planned_edges\":9,\
+                     \"duration_ns\":77,\"lock_acquisitions\":0,\"cas_retries\":0,\
+                     \"spin_iterations\":0}";
+        let v2 = format!("{{\"type\":\"meta\",\"schema\":2}}\n{chunk}\n");
+        let err = decode_trace(&v2).expect_err("schema 2 requires the worker field");
+        assert!(err.contains("worker"), "error should name the missing field: {err}");
+        // Standalone lines are held to the current schema too.
+        assert!(decode_line(chunk).is_err(), "decode_line is current-schema strict");
     }
 
     #[test]

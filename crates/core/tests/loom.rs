@@ -24,6 +24,11 @@
 //!    owner pushing/popping LIFO races a thief stealing FIFO and every
 //!    job surfaces exactly once; a full deque spilling into the
 //!    overflow injector hands the job over without losing it.
+//! 10. the pool's sleep protocol (`pool.rs`, "Sleep protocol"): a
+//!     pusher that publishes a job then reads the sleeper count races a
+//!     sleeper that registers then re-scans with the lock-taking pops —
+//!     in every interleaving at least one side observes the other, so
+//!     no wakeup is lost.
 //!
 //! Keep each model at 2–3 threads: loom's state space is exponential in
 //! preemption points, and these protocols show all their behaviours
@@ -268,5 +273,49 @@ fn overflow_handoff_loses_no_jobs() {
         }
         got.sort_unstable();
         assert_eq!(got, vec![1, 2], "the spilled job must survive the handoff");
+    });
+}
+
+/// Model 10: the pool's sleep protocol (`pool.rs`, "Sleep protocol"),
+/// reduced to its two racing halves. The pusher publishes a job into a
+/// queue (under that queue's mutex) and then reads the sleeper count
+/// with a relaxed load — if non-zero it would notify. The sleeper
+/// increments the count (relaxed) and then re-scans the queue with the
+/// lock-taking pop — if it finds the job it never parks. The queue
+/// mutex is the only happens-before edge between the two: whichever
+/// critical section runs first carries the other side's write across
+/// (increment → scan-unlock ≺ push-lock → count-read, or push ≺ pop).
+/// Losing *both* — pusher reads 0 AND sleeper pops nothing — is the
+/// lost wakeup that parks the pool with a job queued. This is exactly
+/// why the registered re-scan must use `pop_front_locked` and friends:
+/// the `is_empty_hint` fast path returns "empty" from a relaxed load
+/// with no lock, the mutex edge vanishes, and the store-buffering
+/// interleaving (both sides miss) becomes reachable.
+#[test]
+fn sleep_protocol_never_loses_the_wakeup() {
+    use ipregel_par::deque::Injector;
+    use loom::sync::atomic::{AtomicUsize, Ordering};
+    loom::model(|| {
+        let queue = Arc::new(Injector::new());
+        let sleepers = Arc::new(AtomicUsize::new(0));
+        let pusher = {
+            let queue = Arc::clone(&queue);
+            let sleepers = Arc::clone(&sleepers);
+            thread::spawn(move || {
+                queue.push(1u32);
+                // ordering(Relaxed): the protocol's actual ordering —
+                // visibility must come from the queue mutex, not from
+                // this load.
+                sleepers.load(Ordering::Relaxed) > 0
+            })
+        };
+        // ordering(Relaxed): registration, as in `worker_loop`.
+        sleepers.fetch_add(1, Ordering::Relaxed);
+        let found = queue.pop_front_locked().is_some();
+        let would_notify = pusher.join().unwrap();
+        assert!(
+            found || would_notify,
+            "lost wakeup: job queued, sleeper parked, pusher saw no sleeper"
+        );
     });
 }

@@ -27,9 +27,10 @@
 //! # Loom
 //!
 //! Under `--cfg loom` the mutex and the advisory counter swap for
-//! loom's instrumented doubles, so the steal-exactly-once and
-//! overflow-handoff models in `crates/core/tests/loom.rs` exercise
-//! *these* types, not simplified stand-ins. The lock-order detector is
+//! loom's instrumented doubles, so the steal-exactly-once,
+//! overflow-handoff, and sleep-protocol models in
+//! `crates/core/tests/loom.rs` exercise *these* types, not simplified
+//! stand-ins. The lock-order detector is
 //! std-only, so the loom build uses loom's plain `Mutex`; the class
 //! annotations still document where each site sits in the hierarchy.
 
@@ -59,7 +60,8 @@ pub struct StealDeque<T> {
     /// lock-free to skip empty victims; a stale read only costs one
     /// extra probe (stale-empty) or one skipped victim this round
     /// (stale-full) — never a lost job, because the sleep path re-scans
-    /// under the pool's state lock (see `pool.rs`, "sleep protocol").
+    /// with the `_locked` pops, which skip this hint and take the mutex
+    /// unconditionally (see `pool.rs`, "sleep protocol").
     len: AtomicUsize,
     capacity: usize,
 }
@@ -104,6 +106,17 @@ impl<T> StealDeque<T> {
         if self.is_empty_hint() {
             return None;
         }
+        self.pop_back_locked()
+    }
+
+    /// Owner pop that unconditionally acquires the deque mutex, skipping
+    /// the advisory fast path. The pool's registered sleep-path re-scan
+    /// must use this variant: only a genuine lock acquisition gives the
+    /// mutex-mediated happens-before edge the sleep protocol's
+    /// no-lost-wakeup argument rests on (a hint-only `None` would let a
+    /// concurrent pusher's `len` store and the sleeper's `sleepers`
+    /// increment miss each other — the store-buffering litmus).
+    pub fn pop_back_locked(&self) -> Option<T> {
         // lock-order(pool.deque)
         let mut q = self.inner.lock().expect("deque poisoned");
         let job = q.pop_back();
@@ -117,6 +130,13 @@ impl<T> StealDeque<T> {
         if self.is_empty_hint() {
             return None;
         }
+        self.pop_front_locked()
+    }
+
+    /// Thief pop that unconditionally acquires the deque mutex — the
+    /// sleep-path variant of [`Self::pop_front`] (see
+    /// [`Self::pop_back_locked`] for why the hint must be skipped).
+    pub fn pop_front_locked(&self) -> Option<T> {
         // lock-order(pool.deque)
         let mut q = self.inner.lock().expect("deque poisoned");
         let job = q.pop_front();
@@ -175,6 +195,14 @@ impl<T> Injector<T> {
         if self.is_empty_hint() {
             return None;
         }
+        self.pop_front_locked()
+    }
+
+    /// Dequeue that unconditionally acquires the injector mutex — the
+    /// sleep-path variant of [`Self::pop_front`] (see
+    /// [`StealDeque::pop_back_locked`] for why the hint must be
+    /// skipped).
+    pub fn pop_front_locked(&self) -> Option<T> {
         // lock-order(pool.overflow)
         let mut q = self.inner.lock().expect("injector poisoned");
         let job = q.pop_front();

@@ -37,11 +37,20 @@
 //! a worker increments it (while holding `pool.state`) **before**
 //! re-scanning every queue, then waits; a pusher publishes its job and
 //! then reads the count, notifying under `pool.state` if it is
-//! non-zero. For any queue the sleeper scanned before the push landed,
-//! the sleeper's increment is visible to the pusher through that
-//! queue's mutex (increment → scan-unlock ≺ push-lock → count-read),
-//! so the pusher notifies; if the sleeper scanned after, the scan found
-//! the job. Notifying under `pool.state` closes the remaining window:
+//! non-zero. The registered re-scan ([`PoolInner::find_job_registered`])
+//! acquires every queue's mutex unconditionally — it must not use the
+//! relaxed `is_empty_hint` fast path, which reports "empty" without a
+//! lock and therefore without any happens-before edge to the pusher
+//! (a hint-based scan plus the relaxed count read would be the
+//! store-buffering litmus: both sides miss, the job sits queued with
+//! every worker parked). With real acquisitions, for any queue the
+//! sleeper scanned before the push landed, the sleeper's increment is
+//! visible to the pusher through that queue's mutex (increment →
+//! scan-unlock ≺ push-lock → count-read), so the pusher notifies; if
+//! the sleeper scanned after, the scan found the job. The
+//! `sleep_protocol_never_loses_the_wakeup` loom model in
+//! `crates/core/tests/loom.rs` pins exactly this edge.
+//! Notifying under `pool.state` closes the remaining window:
 //! the sleeper holds that mutex from registration until the condvar
 //! wait releases it, so the notify cannot fire in between.
 //!
@@ -199,10 +208,11 @@ impl PoolInner {
     fn wake_if_sleepers(&self) {
         // ordering(Relaxed): pairs with the registration in the sleep
         // path — a sleeper increments the count *before* re-scanning
-        // the queues, so if it scanned our queue before our push, the
-        // increment reached us through that queue's mutex and this read
-        // sees it; if it scanned after, it found the job. (Module docs,
-        // "Sleep protocol".)
+        // the queues with `find_job_registered`, whose unconditional
+        // lock acquisitions carry the increment to us: if it scanned
+        // our queue before our push, the increment reached us through
+        // that queue's mutex and this read sees it; if it scanned
+        // after, it found the job. (Module docs, "Sleep protocol".)
         if self.sleepers.load(Ordering::Relaxed) > 0 {
             self.wake_all();
         }
@@ -231,6 +241,36 @@ impl PoolInner {
         }
         for &victim in &self.victims[index] {
             if let Some(job) = self.deques[victim].pop_front() {
+                // ordering(Relaxed): monotone counter; readers snapshot
+                // it via `stats()` outside parallel regions.
+                self.steals[index].fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// The sleep-path scheduling round: same scan order as [`find_job`]
+    /// (own deque, overflow, victims), but every pop acquires its queue
+    /// mutex unconditionally instead of trusting the relaxed emptiness
+    /// hint. A worker that has registered on the sleeper count must scan
+    /// with *this* — the lock acquisitions are the happens-before edges
+    /// that make its registration visible to any pusher it raced, which
+    /// is the whole no-lost-wakeup argument (module docs, "Sleep
+    /// protocol"). `find_job` is the fast path for unregistered workers
+    /// only, where a stale-empty hint merely delays work, never strands
+    /// it.
+    ///
+    /// [`find_job`]: Self::find_job
+    fn find_job_registered(&self, index: usize) -> Option<Job> {
+        if let Some(job) = self.deques[index].pop_back_locked() {
+            return Some(job);
+        }
+        if let Some(job) = self.overflow.pop_front_locked() {
+            return Some(job);
+        }
+        for &victim in &self.victims[index] {
+            if let Some(job) = self.deques[victim].pop_front_locked() {
                 // ordering(Relaxed): monotone counter; readers snapshot
                 // it via `stats()` outside parallel regions.
                 self.steals[index].fetch_add(1, Ordering::Relaxed);
@@ -349,11 +389,13 @@ impl ScopeLatch {
             // locks the same way (10 → 12, 10 → 14).
             let mut st = self.pool.state.lock().expect("pool state poisoned");
             // ordering(Relaxed): register *before* the re-scan — the
-            // pusher-side pairing is `wake_if_sleepers` (module docs,
-            // "Sleep protocol").
+            // pusher-side pairing is `wake_if_sleepers`, and the
+            // `find_job_registered` lock acquisitions below are what
+            // carry this increment to the pusher (module docs, "Sleep
+            // protocol").
             self.pool.sleepers.fetch_add(1, Ordering::Relaxed);
             let job = loop {
-                if let Some(job) = self.pool.find_job(index) {
+                if let Some(job) = self.pool.find_job_registered(index) {
                     break Some(job);
                 }
                 if self.is_done() {
@@ -534,10 +576,12 @@ fn worker_loop(pool: Arc<PoolInner>, index: usize) {
         // lock-order(pool.state)
         let mut st = pool.state.lock().expect("pool state poisoned");
         // ordering(Relaxed): register *before* the re-scan — the
-        // pusher-side pairing is `wake_if_sleepers`.
+        // pusher-side pairing is `wake_if_sleepers`, and the
+        // `find_job_registered` lock acquisitions below are what carry
+        // this increment to the pusher.
         pool.sleepers.fetch_add(1, Ordering::Relaxed);
         let job = loop {
-            if let Some(job) = pool.find_job(index) {
+            if let Some(job) = pool.find_job_registered(index) {
                 break Some(job);
             }
             if st.shutdown {
